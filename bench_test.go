@@ -1,0 +1,400 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure, plus ablations for the design choices DESIGN.md calls out.
+//
+// Each figure benchmark runs its sweep once per b.N iteration on a
+// narrowed scope (so `go test -bench=.` terminates in minutes) and reports
+// the figure's headline quantities as custom metrics. The full paper-scale
+// sweeps are produced by cmd/lockillerbench (see EXPERIMENTS.md); set
+// LOCKILLER_FULL=1 to run the benchmarks at full scope too.
+package repro
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/priority"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/topology"
+)
+
+func full() bool { return os.Getenv("LOCKILLER_FULL") == "1" }
+
+// benchWorkloads returns the figure-benchmark scope.
+func benchWorkloads() []stamp.Profile {
+	if full() {
+		return stamp.Workloads()
+	}
+	return []stamp.Profile{stamp.Intruder(), stamp.Vacation(), stamp.Yada()}
+}
+
+func benchThreads() []int {
+	if full() {
+		return harness.ThreadCounts
+	}
+	return []int{2, 8}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RenderTable1(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		harness.RenderTable2(io.Discard)
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunFig1(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64 = 1e9
+		for _, sp := range f.Speedup {
+			if sp < worst {
+				worst = sp
+			}
+		}
+		b.ReportMetric(worst, "worst-speedup-x")
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunFig7(r, nil, benchWorkloads(), benchThreads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, worstLk := f.MinSpeedup("LockillerTM", len(f.Threads)-1)
+		_, worstBase := f.MinSpeedup("Baseline", len(f.Threads)-1)
+		b.ReportMetric(worstLk, "lockiller-min-speedup-x")
+		b.ReportMetric(worstBase, "baseline-min-speedup-x")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunFig8(r, benchWorkloads(), benchThreads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := f.Rate["Baseline"]
+		rwi := f.Rate["LockillerTM-RWI"]
+		var mb, mr float64
+		for i := range base {
+			mb += base[i]
+			mr += rwi[i]
+		}
+		b.ReportMetric(mr/mb, "rwi-commit-rate-gain-x")
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunBreakdown(r, "Fig. 9",
+			[]string{"Baseline", "LockillerTM-RWI", "LockillerTM-RWIL"}, benchWorkloads(), 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunFig10(r, benchWorkloads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// HTMLock must eliminate mutex aborts (the paper's key claim).
+		var mutexShare float64
+		for _, wl := range f.Workloads {
+			mutexShare += f.Share["LockillerTM-RWIL"][wl][htm.CauseMutex]
+		}
+		b.ReportMetric(mutexShare, "rwil-mutex-share")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunBreakdown(r, "Fig. 11",
+			[]string{"Baseline", "LockillerTM-RWIL", "LockillerTM"}, benchWorkloads(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = f
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunFig12(r, benchWorkloads(), benchThreads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ob, ol := f.Headline()
+		b.ReportMetric(ob, "over-baseline-x")
+		b.ReportMetric(ol, "over-losa-x")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(1)
+		f, err := harness.RunFig13(r, benchWorkloads(), benchThreads())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.MaxOverBaseline["small"], "small-max-over-baseline-x")
+	}
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// ablate runs one workload/thread point under a modified HTM config and
+// reports cycles.
+func ablate(b *testing.B, mod func(*harness.SystemDef), threads int) {
+	b.Helper()
+	wl := stamp.Intruder()
+	for i := 0; i < b.N; i++ {
+		sys, _ := harness.SystemByName("LockillerTM")
+		if mod != nil {
+			mod(&sys)
+		}
+		run, err := harness.Execute(harness.Spec{
+			System: sys, Workload: wl, Threads: threads,
+			Cache: harness.TypicalCache(), Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.ExecCycles), "cycles")
+		b.ReportMetric(run.CommitRate(), "commit-rate")
+	}
+}
+
+// BenchmarkAblationPriority compares the priority policies behind the
+// recovery mechanism (paper §III-A: insts-based vs progression vs static).
+func BenchmarkAblationPriority(b *testing.B) {
+	b.Run("insts-based", func(b *testing.B) { ablate(b, nil, 16) })
+	b.Run("progression", func(b *testing.B) {
+		ablate(b, func(s *harness.SystemDef) { s.HTM.Priority = priority.Progression{} }, 16)
+	})
+	b.Run("static", func(b *testing.B) {
+		ablate(b, func(s *harness.SystemDef) { s.HTM.Priority = priority.Static{Value: 1} }, 16)
+	})
+}
+
+// BenchmarkAblationRejectPolicy compares the three rejected-request
+// policies (Table II's RAI/RRI/RWI distinction) on the full system.
+func BenchmarkAblationRejectPolicy(b *testing.B) {
+	for _, p := range []htm.RejectPolicy{htm.SelfAbort, htm.RetryLater, htm.WaitWakeup} {
+		p := p
+		b.Run(p.String(), func(b *testing.B) {
+			ablate(b, func(s *harness.SystemDef) { s.HTM.RejectPolicy = p }, 16)
+		})
+	}
+}
+
+// BenchmarkAblationSignature sweeps the LLC overflow-signature size
+// (false-positive pressure vs hardware cost).
+func BenchmarkAblationSignature(b *testing.B) {
+	for _, bits := range []int{256, 1024, 2048, 8192} {
+		bits := bits
+		b.Run(byteSize(bits), func(b *testing.B) {
+			wl := stamp.Labyrinth() // signature-heavy workload
+			for i := 0; i < b.N; i++ {
+				sys, _ := harness.SystemByName("LockillerTM")
+				sys.HTM.SignatureBits = bits
+				run, err := harness.Execute(harness.Spec{
+					System: sys, Workload: wl, Threads: 8,
+					Cache: harness.TypicalCache(), Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(run.ExecCycles), "cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNoC compares the contention-modeling NoC against a
+// perfect (fixed-latency) network.
+func BenchmarkAblationNoC(b *testing.B) {
+	run := func(b *testing.B, perfect bool) {
+		wl := stamp.VacationHigh()
+		for i := 0; i < b.N; i++ {
+			sys, _ := harness.SystemByName("LockillerTM")
+			p := coherence.DefaultParams()
+			p.NoC.Perfect = perfect
+			cfg := cpu.Config{Machine: p, HTM: sys.HTM, Sync: sys.Sync, Threads: 16, Seed: 1, Limit: 4_000_000_000}
+			m := cpu.NewMachine(cfg, sys.Name, wl.Name, stamp.Programs(wl, 16, 1))
+			res, err := m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ExecCycles), "cycles")
+		}
+	}
+	b.Run("contended", func(b *testing.B) { run(b, false) })
+	b.Run("perfect", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationProtocolLevels compares the paper's streamlined
+// MESI-Two-Level-HTM against the MESI-Three-Level-HTM organization it
+// replaced (private middle cache, flush-on-forward; §IV-A).
+func BenchmarkAblationProtocolLevels(b *testing.B) {
+	run := func(b *testing.B, mid bool) {
+		wl := stamp.Vacation()
+		for i := 0; i < b.N; i++ {
+			sys, _ := harness.SystemByName("Baseline")
+			p := coherence.DefaultParams()
+			if mid {
+				p.MidSize, p.MidWays = 64*1024, 8
+			}
+			cfg := cpu.Config{Machine: p, HTM: sys.HTM, Sync: sys.Sync, Threads: 8, Seed: 1, Limit: 4_000_000_000}
+			m := cpu.NewMachine(cfg, sys.Name, wl.Name, stamp.Programs(wl, 8, 1))
+			res, err := m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ExecCycles), "cycles")
+			b.ReportMetric(res.CommitRate(), "commit-rate")
+		}
+	}
+	b.Run("two-level", func(b *testing.B) { run(b, false) })
+	b.Run("three-level", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationPlacement compares packed vs spread thread placement on
+// the mesh (the paper pins thread i to core i).
+func BenchmarkAblationPlacement(b *testing.B) {
+	run := func(b *testing.B, pl cpu.Placement) {
+		wl := stamp.Intruder()
+		for i := 0; i < b.N; i++ {
+			sys, _ := harness.SystemByName("LockillerTM")
+			cfg := cpu.Config{Machine: coherence.DefaultParams(), HTM: sys.HTM, Sync: sys.Sync,
+				Threads: 8, Seed: 1, Limit: 4_000_000_000, Placement: pl}
+			m := cpu.NewMachine(cfg, sys.Name, wl.Name, stamp.Programs(wl, 8, 1))
+			res, err := m.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.ExecCycles), "cycles")
+		}
+	}
+	b.Run("packed", func(b *testing.B) { run(b, cpu.PlacePacked) })
+	b.Run("spread", func(b *testing.B) { run(b, cpu.PlaceSpread) })
+}
+
+// BenchmarkAblationRetryBudget sweeps TME_MAX_RETRIES.
+func BenchmarkAblationRetryBudget(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		b.Run(itoa(n), func(b *testing.B) {
+			ablate(b, func(s *harness.SystemDef) { s.HTM.MaxRetries = n }, 16)
+		})
+	}
+}
+
+// --- Component micro-benchmarks ------------------------------------------
+
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	if err := e.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkNoCSend(b *testing.B) {
+	e := sim.NewEngine()
+	net := noc.New(e, topology.NewMesh(4, 8), noc.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(i%32, (i*7)%32, noc.DataFlits, func() {})
+		if i%1024 == 0 {
+			for e.Step() {
+			}
+		}
+	}
+	for e.Step() {
+	}
+}
+
+func BenchmarkSignatureAdd(b *testing.B) {
+	s := htm.NewSignature(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(mem.Line(i))
+		if i%4096 == 0 {
+			s.Clear()
+		}
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// End-to-end simulator speed: simulated cycles per wall second.
+	wl := stamp.Kmeans()
+	sys, _ := harness.SystemByName("LockillerTM")
+	var cycles, events uint64
+	for i := 0; i < b.N; i++ {
+		p := coherence.DefaultParams()
+		cfg := cpu.Config{Machine: p, HTM: sys.HTM, Sync: sys.Sync, Threads: 8, Seed: 1, Limit: 4_000_000_000}
+		m := cpu.NewMachine(cfg, sys.Name, wl.Name, stamp.Programs(wl, 8, 1))
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ExecCycles
+		events += m.Engine.Executed()
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// --- tiny helpers (stdlib only, no fmt in hot paths) ---------------------
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func byteSize(bits int) string { return itoa(bits) + "b" }

@@ -1,0 +1,141 @@
+// Command lockillerbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lockillerbench -fig 7            # regenerate one figure (1,7,8,9,10,11,12,13)
+//	lockillerbench -table 1          # print Table I or II
+//	lockillerbench -all              # the full evaluation (long)
+//	lockillerbench -fig 7 -quick     # narrowed sweep for a fast look
+//	lockillerbench -v                # log every completed simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/stamp"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (1,7,8,9,10,11,12,13)")
+	table := flag.Int("table", 0, "table number to print (1,2)")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "narrow the sweep (3 workloads, 3 thread counts)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "log each completed simulation")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of text")
+	chart := flag.Bool("chart", false, "render ASCII charts after the text tables")
+	check := flag.Bool("check", false, "evaluate the paper's qualitative claims (PASS/FAIL) and exit")
+	cacheFile := flag.String("results", "", "persist simulation results to this JSON file (loaded first, saved after)")
+	flag.Parse()
+
+	r := harness.NewRunner(*seed)
+	if *cacheFile != "" {
+		if f, err := os.Open(*cacheFile); err == nil {
+			if err := r.Load(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench: ignoring results cache:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "loaded %d cached results\n", r.Cached())
+			}
+			f.Close()
+		}
+		defer func() {
+			f, err := os.Create(*cacheFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+				return
+			}
+			defer f.Close()
+			if err := r.Save(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			}
+		}()
+	}
+	if *verbose {
+		r.Log = func(s string) { fmt.Fprintln(os.Stderr, "  run:", s) }
+	}
+
+	workloads := stamp.Workloads()
+	threads := harness.ThreadCounts
+	if *quick {
+		workloads = []stamp.Profile{stamp.Intruder(), stamp.Vacation(), stamp.Yada()}
+		threads = []int{2, 8, 32}
+	}
+
+	switch {
+	case *check:
+		failed, err := harness.RunChecks(r, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			fmt.Printf("%d claim(s) FAILED\n", failed)
+			os.Exit(1)
+		}
+		fmt.Println("all claims PASS")
+	case *table == 1:
+		harness.RenderTable1(os.Stdout)
+	case *table == 2:
+		harness.RenderTable2(os.Stdout)
+	case *all:
+		for _, n := range []int{1, 7, 8, 9, 10, 11, 12, 13} {
+			runFig(r, n, workloads, threads, *csvOut, *chart)
+		}
+	case *fig != 0:
+		runFig(r, *fig, workloads, threads, *csvOut, *chart)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFig(r *harness.Runner, n int, workloads []stamp.Profile, threads []int, csvOut, chart bool) {
+	var f harness.Figure
+	var err error
+	switch n {
+	case 1:
+		f, err = harness.RunFig1(r)
+	case 7:
+		f, err = harness.RunFig7(r, nil, workloads, threads)
+	case 8:
+		f, err = harness.RunFig8(r, workloads, threads)
+	case 9:
+		f, err = harness.RunBreakdown(r, "Fig. 9",
+			[]string{"Baseline", "LockillerTM-RWI", "LockillerTM-RWIL"}, workloads, 32)
+	case 10:
+		f, err = harness.RunFig10(r, workloads)
+	case 11:
+		f, err = harness.RunBreakdown(r, "Fig. 11",
+			[]string{"Baseline", "LockillerTM-RWIL", "LockillerTM"}, workloads, 2)
+	case 12:
+		f, err = harness.RunFig12(r, workloads, threads)
+	case 13:
+		f, err = harness.RunFig13(r, workloads, threads)
+	default:
+		fmt.Fprintf(os.Stderr, "lockillerbench: no figure %d (have 1,7,8,9,10,11,12,13)\n", n)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+		os.Exit(1)
+	}
+	if csvOut {
+		if e, ok := f.(harness.CSVExporter); ok {
+			if err := e.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	f.Render(os.Stdout)
+	if chart {
+		if c, ok := f.(harness.ChartRenderer); ok {
+			c.RenderChart(os.Stdout)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,167 @@
+// Command lockillersim runs one (system, workload, threads, cache)
+// simulation and prints its statistics: execution cycles, commit rate,
+// abort causes, and the execution-time breakdown.
+//
+// Usage:
+//
+//	lockillersim -system LockillerTM -workload intruder -threads 8 [-cache small] [-seed 1]
+//	lockillersim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/stamp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	system := flag.String("system", "Baseline", "Table II system name")
+	workload := flag.String("workload", "intruder", "STAMP workload name")
+	threads := flag.Int("threads", 2, "thread count (2..32)")
+	cacheName := flag.String("cache", "typical", "cache config: typical, small, large")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list systems and workloads, then exit")
+	traceCats := flag.String("trace", "", "record events: comma-separated categories (proto,conflict,tx,htmlock,lock) or 'all'")
+	traceN := flag.Int("tracen", 200, "number of trace events to retain")
+	showTraffic := flag.Bool("traffic", false, "print the memory-subsystem traffic summary")
+	threeLevel := flag.Bool("threelevel", false, "use the MESI-Three-Level-HTM organization (private middle cache)")
+	exportPath := flag.String("export", "", "write the generated thread programs as JSON and exit")
+	importPath := flag.String("import", "", "replay thread programs from a JSON file instead of generating them")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Systems (Table II):")
+		for _, s := range harness.Systems() {
+			fmt.Printf("  %-18s %s\n", s.Name, s.Desc)
+		}
+		fmt.Println("Workloads (STAMP):")
+		for _, w := range stamp.Workloads() {
+			fmt.Printf("  %s\n", w.Name)
+		}
+		return
+	}
+
+	sys, err := harness.SystemByName(*system)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := stamp.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	var cache harness.CacheConfig
+	switch *cacheName {
+	case "typical":
+		cache = harness.TypicalCache()
+	case "small":
+		cache = harness.SmallCache()
+	case "large":
+		cache = harness.LargeCache()
+	default:
+		fatal(fmt.Errorf("unknown cache config %q", *cacheName))
+	}
+
+	var tracer *trace.Tracer
+	if *traceCats != "" {
+		sel := *traceCats
+		if sel == "all" {
+			sel = ""
+		}
+		cats, err := trace.ParseCategories(sel)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = trace.New(*traceN, cats)
+	}
+	spec := harness.Spec{System: sys, Workload: wl, Threads: *threads, Cache: cache, Seed: *seed}
+	if *exportPath != "" {
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			fatal(err)
+		}
+		progs := stamp.Programs(wl, *threads, *seed)
+		if err := cpu.ExportPrograms(f, progs, sys.HTM.MaxRetries+1); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d thread programs to %s\n", len(progs), *exportPath)
+		return
+	}
+	var run *stats.Run
+	switch {
+	case *importPath != "" || *threeLevel:
+		run, err = runCustom(spec, tracer, *importPath, *threeLevel)
+	default:
+		run, err = harness.ExecuteTraced(spec, tracer)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system    : %s\nworkload  : %s\nthreads   : %d\ncache     : %s\n",
+		sys.Name, wl.Name, *threads, cache.Name)
+	fmt.Printf("cycles    : %d\nsections  : %d\ncommitrate: %.4f\n",
+		run.ExecCycles, run.Sections(), run.CommitRate())
+	total, by := run.TotalAborts()
+	fmt.Printf("aborts    : %d", total)
+	for cause, n := range by {
+		fmt.Printf("  %s=%d", cause, n)
+	}
+	fmt.Println()
+	bd := run.Breakdown()
+	fmt.Printf("breakdown :")
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Printf("  %s=%.3f", c, bd[c])
+	}
+	fmt.Println()
+	if *showTraffic {
+		run.Traffic.Render(os.Stdout)
+	}
+	if tracer != nil {
+		fmt.Println("trace:")
+		tracer.Render(os.Stdout)
+	}
+}
+
+// runCustom executes a spec with non-standard machine options (replayed
+// programs and/or the three-level protocol organization).
+func runCustom(spec harness.Spec, tracer *trace.Tracer, importPath string, threeLevel bool) (*stats.Run, error) {
+	p := coherence.DefaultParams()
+	p.L1Size = spec.Cache.L1Size
+	p.LLCSize = spec.Cache.LLCSize
+	if threeLevel {
+		p.MidSize, p.MidWays = 64*1024, 8
+	}
+	progs := stamp.Programs(spec.Workload, spec.Threads, spec.Seed)
+	if importPath != "" {
+		f, err := os.Open(importPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		progs, err = cpu.ImportPrograms(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := cpu.Config{
+		Machine: p, HTM: spec.System.HTM, Sync: spec.System.Sync,
+		Threads: len(progs), Seed: spec.Seed, Limit: 4_000_000_000, Tracer: tracer,
+	}
+	m := cpu.NewMachine(cfg, spec.System.Name, spec.Workload.Name, progs)
+	return m.Run()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lockillersim:", err)
+	os.Exit(1)
+}

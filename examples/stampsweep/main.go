@@ -1,0 +1,51 @@
+// STAMP sweep: run one STAMP-like workload across all Table II systems and
+// thread counts, printing a speedup matrix — a miniature of the paper's
+// Fig. 7 for a single workload.
+//
+//	go run ./examples/stampsweep [workload]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/stamp"
+)
+
+func main() {
+	name := "intruder"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	wl, err := stamp.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	r := harness.NewRunner(1)
+	threads := []int{2, 8, 32}
+
+	fmt.Printf("speedup vs CGL on %s (typical cache)\n", wl.Name)
+	fmt.Printf("%-18s", "system")
+	for _, t := range threads {
+		fmt.Printf(" %5dT", t)
+	}
+	fmt.Println()
+	for _, sys := range harness.Systems() {
+		if sys.Name == "CGL" {
+			continue
+		}
+		fmt.Printf("%-18s", sys.Name)
+		for _, t := range threads {
+			sp, err := r.Speedup(sys, wl, t, harness.TypicalCache())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %5.2fx", sp)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,171 @@
+// Package ace models the paper's implementability argument (§III-A): the
+// recovery mechanism's extra information rides existing AMBA ACE channels
+// rather than new wires. "Priority information can conveniently be encoded
+// in the ARUSER field of the AR channel"; "the reject message is sent as a
+// data-less message that can easily be encoded on the CRRESP signal of the
+// CR channel"; and wake-up retries reuse the stash-transaction pattern
+// "but it needs to extend the AWSNOOP signal to identify it".
+//
+// The encoders here take the simulator's protocol messages and pack them
+// into the corresponding signal fields with hardware-realistic widths,
+// with decoding round-trips checked by tests: evidence that no message in
+// the simulated protocol carries more information than the bus could.
+package ace
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+)
+
+// Signal widths (bits). ARUSER width is implementation-defined by the ACE
+// specification; 32 bits of user signal is a common configuration and
+// bounds the priority the recovery mechanism may carry per request.
+// CRRESP is 5 bits in ACE; its defined bits are DataTransfer(0),
+// Error(1), PassDirty(2), IsShared(3), WasUnique(4) — the reject encoding
+// claims one reserved response pattern. AWSNOOP is 4 bits (3 in some
+// revisions); the wake-up/stash extension claims one spare opcode.
+const (
+	ARUserWidth  = 32
+	CRRespWidth  = 5
+	AWSnoopWidth = 4
+)
+
+// MaxPriority is the largest priority encodable in ARUSER alongside the
+// 2-bit requester-mode tag.
+const MaxPriority = (1 << (ARUserWidth - 2)) - 1
+
+// ARUser packs a request's arbitration payload into the AR channel's user
+// field: the low bits carry the (saturated) transaction priority and the
+// top two bits the requester's mode class, which the conflict handler
+// needs for the Fig. 10 cause taxonomy.
+type ARUser uint32
+
+// modeClass compresses the five execution modes into the 2-bit tag.
+func modeClass(m htm.Mode) uint32 {
+	switch m {
+	case htm.HTM:
+		return 1
+	case htm.TL, htm.STL:
+		return 2
+	case htm.Mutex:
+		return 3
+	default:
+		return 0 // plain non-transactional
+	}
+}
+
+// EncodeARUser packs priority and requester mode. Priorities beyond the
+// field width saturate: arbitration only needs the order, and a saturated
+// value still wins every comparison it would have won exactly (ties break
+// by core ID either way).
+func EncodeARUser(prio uint64, mode htm.Mode) ARUser {
+	p := prio
+	if p > MaxPriority {
+		p = MaxPriority
+	}
+	return ARUser(uint32(p) | modeClass(mode)<<(ARUserWidth-2))
+}
+
+// Priority extracts the saturated priority.
+func (u ARUser) Priority() uint64 { return uint64(u) & MaxPriority }
+
+// ModeClass extracts the 2-bit requester class: 0 plain, 1 HTM, 2 lock
+// transaction (TL/STL), 3 mutex fallback.
+func (u ARUser) ModeClass() uint32 { return uint32(u) >> (ARUserWidth - 2) }
+
+// CRResp is the CR (snoop response) channel payload.
+type CRResp uint8
+
+// Defined ACE CRRESP bits.
+const (
+	CRDataTransfer CRResp = 1 << 0
+	CRError        CRResp = 1 << 1
+	CRPassDirty    CRResp = 1 << 2
+	CRIsShared     CRResp = 1 << 3
+	CRWasUnique    CRResp = 1 << 4
+)
+
+// The recovery mechanism's response encodings. A normal snoop that
+// supplies data sets DataTransfer (+PassDirty when dirty). The NACK
+// ("owner invalidated itself") is a response with no data transfer and
+// WasUnique set — the owner admits it *was* the unique holder but no
+// longer is. The reject is the otherwise-unused Error|WasUnique pattern:
+// data-less, distinguishable, and ignored by legacy receivers that treat
+// it as a failed snoop and re-issue (exactly the retry semantics a
+// non-upgraded requester needs).
+func EncodeSnoopData(dirty bool) CRResp {
+	r := CRDataTransfer
+	if dirty {
+		r |= CRPassDirty
+	}
+	return r
+}
+
+// EncodeNack is the owner-invalidated-itself response of Fig. 3.
+func EncodeNack() CRResp { return CRWasUnique }
+
+// EncodeReject is the withdrawn-toxic-request response of Fig. 4.
+func EncodeReject() CRResp { return CRError | CRWasUnique }
+
+// Kind classifies a received CRResp.
+type Kind int
+
+const (
+	KindData Kind = iota
+	KindNack
+	KindReject
+	KindInvalid
+)
+
+// Classify decodes a response.
+func (r CRResp) Classify() Kind {
+	if r >= 1<<CRRespWidth {
+		return KindInvalid
+	}
+	switch {
+	case r&CRDataTransfer != 0:
+		return KindData
+	case r == CRWasUnique:
+		return KindNack
+	case r == CRError|CRWasUnique:
+		return KindReject
+	}
+	return KindInvalid
+}
+
+// Dirty reports whether a data response passes dirty data.
+func (r CRResp) Dirty() bool { return r.Classify() == KindData && r&CRPassDirty != 0 }
+
+// AWSnoop opcodes: the standard WriteUnique/WriteLineUnique etc. occupy
+// the defined encodings; the wake-up retry reuses the stash pattern with
+// one spare opcode (the paper: "as with the stash transaction in ACE, the
+// core retries the request after receiving the wake-up message, but it
+// needs to extend the AWSNOOP signal to identify it").
+type AWSnoop uint8
+
+const (
+	// AWSnoopWriteUnique is the ordinary write opcode (defined by ACE).
+	AWSnoopWriteUnique AWSnoop = 0b0000
+	// AWSnoopStash models the ACE5 stash family representative.
+	AWSnoopStash AWSnoop = 0b0101
+	// AWSnoopWakeRetry is the extension opcode for wake-up-triggered
+	// retries — the one new encoding the mechanism needs.
+	AWSnoopWakeRetry AWSnoop = 0b1111
+)
+
+// Valid reports whether the opcode fits the signal width.
+func (s AWSnoop) Valid() bool { return s < 1<<AWSnoopWidth }
+
+// String names the opcodes used by the mechanism.
+func (s AWSnoop) String() string {
+	switch s {
+	case AWSnoopWriteUnique:
+		return "WriteUnique"
+	case AWSnoopStash:
+		return "Stash"
+	case AWSnoopWakeRetry:
+		return "WakeRetry"
+	}
+	return fmt.Sprintf("AWSnoop(%#b)", uint8(s))
+}

@@ -1,0 +1,98 @@
+package ace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/htm"
+	"repro/internal/priority"
+)
+
+func TestARUserRoundTrip(t *testing.T) {
+	if err := quick.Check(func(p uint32, m uint8) bool {
+		mode := []htm.Mode{htm.NonTx, htm.HTM, htm.TL, htm.STL, htm.Mutex}[int(m)%5]
+		want := uint64(p)
+		if want > MaxPriority {
+			want = MaxPriority // saturation, not truncation
+		}
+		u := EncodeARUser(uint64(p), mode)
+		if u.Priority() != want {
+			return false
+		}
+		return u.ModeClass() == modeClass(mode)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARUserSaturationPreservesOrder(t *testing.T) {
+	// Saturated priorities must never lose to unsaturated ones they would
+	// have beaten — ordering is preserved through the encoding.
+	big := EncodeARUser(1<<50, htm.HTM)
+	small := EncodeARUser(12345, htm.HTM)
+	if !priority.Wins(big.Priority(), 1, small.Priority(), 0) {
+		t.Fatal("saturation inverted arbitration order")
+	}
+	if big.Priority() != MaxPriority {
+		t.Fatalf("saturated priority = %d", big.Priority())
+	}
+	// priority.Max (lock transactions) saturates to the field max too.
+	lock := EncodeARUser(priority.Max, htm.TL)
+	if lock.Priority() != MaxPriority || lock.ModeClass() != 2 {
+		t.Fatalf("lock encoding = %v", lock)
+	}
+}
+
+func TestCRRespClassification(t *testing.T) {
+	cases := map[CRResp]Kind{
+		EncodeSnoopData(false): KindData,
+		EncodeSnoopData(true):  KindData,
+		EncodeNack():           KindNack,
+		EncodeReject():         KindReject,
+		0:                      KindInvalid,
+	}
+	for r, want := range cases {
+		if got := r.Classify(); got != want {
+			t.Fatalf("Classify(%05b) = %v, want %v", r, got, want)
+		}
+	}
+	if !EncodeSnoopData(true).Dirty() || EncodeSnoopData(false).Dirty() {
+		t.Fatal("Dirty() wrong")
+	}
+	if EncodeNack().Dirty() {
+		t.Fatal("NACK cannot pass dirty data")
+	}
+}
+
+func TestCRRespEncodingsDistinct(t *testing.T) {
+	// The three mechanism responses must be mutually distinguishable and
+	// fit the 5-bit signal.
+	rs := []CRResp{EncodeSnoopData(false), EncodeSnoopData(true), EncodeNack(), EncodeReject()}
+	for i, a := range rs {
+		if a >= 1<<CRRespWidth {
+			t.Fatalf("encoding %05b exceeds CRRESP width", a)
+		}
+		for j, b := range rs {
+			if i != j && a == b {
+				t.Fatalf("encodings %d and %d collide: %05b", i, j, a)
+			}
+		}
+	}
+}
+
+func TestAWSnoopOpcodes(t *testing.T) {
+	for _, s := range []AWSnoop{AWSnoopWriteUnique, AWSnoopStash, AWSnoopWakeRetry} {
+		if !s.Valid() {
+			t.Fatalf("%v exceeds AWSNOOP width", s)
+		}
+		if s.String() == "" {
+			t.Fatal("unnamed opcode")
+		}
+	}
+	if AWSnoopWakeRetry == AWSnoopStash || AWSnoopWakeRetry == AWSnoopWriteUnique {
+		t.Fatal("extension opcode collides with a defined one")
+	}
+	if AWSnoop(16).Valid() {
+		t.Fatal("width check broken")
+	}
+}

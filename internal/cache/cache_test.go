@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestGeometry(t *testing.T) {
+	a := NewArray(32*1024, 4) // the paper's L1
+	if a.Lines() != 512 || a.Sets() != 128 || a.Ways() != 4 {
+		t.Fatalf("geometry: lines=%d sets=%d ways=%d", a.Lines(), a.Sets(), a.Ways())
+	}
+	b := NewArray(8*1024, 4) // small-cache config
+	if b.Lines() != 128 || b.Sets() != 32 {
+		t.Fatalf("small geometry: lines=%d sets=%d", b.Lines(), b.Sets())
+	}
+}
+
+func TestInstallLookup(t *testing.T) {
+	a := NewArray(4096, 4)
+	l := mem.Line(77)
+	v := a.Victim(l, nil)
+	if v == nil || v.State != Invalid {
+		t.Fatal("fresh array should offer an Invalid victim")
+	}
+	a.Install(v, l, Shared)
+	got := a.Lookup(l)
+	if got == nil || got.State != Shared || got.Line != l {
+		t.Fatalf("Lookup after Install = %+v", got)
+	}
+	if a.Lookup(mem.Line(78)) != nil {
+		t.Fatal("Lookup of absent line should be nil")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	a := NewArray(1024, 4) // 4 sets, 4 ways
+	set0 := func(i int) mem.Line { return mem.Line(i * a.Sets()) }
+	for i := 0; i < 4; i++ {
+		e := a.Victim(set0(i), nil)
+		a.Install(e, set0(i), Modified)
+	}
+	a.Lookup(set0(0)) // refresh 0; LRU is now line set0(1)
+	v := a.Victim(set0(4), nil)
+	if v == nil || v.Line != set0(1) {
+		t.Fatalf("victim = %+v, want line %d", v, set0(1))
+	}
+}
+
+func TestVictimAvoidsTransactional(t *testing.T) {
+	a := NewArray(1024, 4)
+	ln := func(i int) mem.Line { return mem.Line(i * a.Sets()) }
+	for i := 0; i < 4; i++ {
+		e := a.Victim(ln(i), nil)
+		a.Install(e, ln(i), Modified)
+		if i < 3 {
+			e.TxWrite = true
+		}
+	}
+	avoidTx := func(e *Entry) bool { return e.Tx() }
+	v := a.Victim(ln(5), avoidTx)
+	if v == nil || v.Line != ln(3) {
+		t.Fatalf("victim should be the only non-tx line, got %+v", v)
+	}
+	// All ways transactional -> overflow (nil).
+	a.Lookup(ln(3)).TxRead = true
+	if v := a.Victim(ln(5), avoidTx); v != nil {
+		t.Fatalf("expected overflow (nil victim), got %+v", v)
+	}
+	// AnyVictim still finds one.
+	if v := a.AnyVictim(ln(5)); v == nil {
+		t.Fatal("AnyVictim returned nil")
+	}
+}
+
+func TestVictimSkipsTransient(t *testing.T) {
+	a := NewArray(1024, 4)
+	ln := func(i int) mem.Line { return mem.Line(i * a.Sets()) }
+	for i := 0; i < 4; i++ {
+		e := a.Victim(ln(i), nil)
+		st := ItoS
+		if i == 2 {
+			st = Shared
+		}
+		a.Install(e, ln(i), st)
+	}
+	v := a.Victim(ln(9), nil)
+	if v == nil || v.Line != ln(2) {
+		t.Fatalf("victim must skip transient entries, got %+v", v)
+	}
+}
+
+func TestClearTxAbortDropsWrites(t *testing.T) {
+	a := NewArray(4096, 4)
+	for i := 0; i < 6; i++ {
+		l := mem.Line(i)
+		e := a.Victim(l, nil)
+		a.Install(e, l, Modified)
+		if i%2 == 0 {
+			e.TxWrite = true
+		} else {
+			e.TxRead = true
+		}
+	}
+	r, w := a.CountTx()
+	if r != 3 || w != 3 {
+		t.Fatalf("CountTx = %d,%d", r, w)
+	}
+	dropped := a.ClearTx(true)
+	if len(dropped) != 3 {
+		t.Fatalf("dropped %d lines, want 3", len(dropped))
+	}
+	for _, l := range dropped {
+		if a.Lookup(l) != nil {
+			t.Fatalf("dropped line %d still present", l)
+		}
+	}
+	// Read-set lines survive with bits cleared.
+	if e := a.Lookup(mem.Line(1)); e == nil || e.Tx() {
+		t.Fatalf("read-set line mishandled: %+v", e)
+	}
+	if r, w := a.CountTx(); r != 0 || w != 0 {
+		t.Fatal("tx bits not cleared")
+	}
+}
+
+func TestClearTxCommitKeepsWrites(t *testing.T) {
+	a := NewArray(4096, 4)
+	l := mem.Line(5)
+	e := a.Victim(l, nil)
+	a.Install(e, l, Modified)
+	e.TxWrite = true
+	if dropped := a.ClearTx(false); len(dropped) != 0 {
+		t.Fatalf("commit dropped lines: %v", dropped)
+	}
+	if e := a.Lookup(l); e == nil || e.State != Modified || e.Tx() {
+		t.Fatalf("committed line mishandled: %+v", e)
+	}
+}
+
+func TestPeekDoesNotTouchLRU(t *testing.T) {
+	a := NewArray(1024, 4)
+	ln := func(i int) mem.Line { return mem.Line(i * a.Sets()) }
+	for i := 0; i < 4; i++ {
+		a.Install(a.Victim(ln(i), nil), ln(i), Shared)
+	}
+	a.Peek(ln(0)) // must not refresh
+	v := a.Victim(ln(4), nil)
+	if v.Line != ln(0) {
+		t.Fatalf("Peek perturbed LRU: victim %+v", v)
+	}
+}
+
+func TestSetMappingProperty(t *testing.T) {
+	a := NewArray(32*1024, 4)
+	if err := quick.Check(func(x uint64) bool {
+		l := mem.Line(x)
+		s := a.SetOf(l)
+		return s >= 0 && s < a.Sets()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M",
+		ItoS: "I->S", ItoM: "I->M", StoM: "S->M",
+	} {
+		if st.String() != want {
+			t.Fatalf("String(%d) = %q", st, st.String())
+		}
+	}
+	if !Shared.Valid() || Invalid.Valid() || ItoS.Valid() {
+		t.Fatal("Valid() wrong")
+	}
+	if !ItoM.Transient() || Modified.Transient() {
+		t.Fatal("Transient() wrong")
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	a := NewArray(4096, 4)
+	for i := 0; i < 10; i++ {
+		l := mem.Line(i)
+		a.Install(a.Victim(l, nil), l, Exclusive)
+	}
+	n := 0
+	a.ForEach(func(e *Entry) { n++ })
+	if n != 10 {
+		t.Fatalf("ForEach visited %d, want 10", n)
+	}
+}

@@ -1,0 +1,527 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// dirState is the stable directory state of a line.
+type dirState uint8
+
+const (
+	dirI  dirState = iota // no L1 copies
+	dirS                  // one or more read-only sharers
+	dirEM                 // single owner holding E or M
+)
+
+// dirLine is the directory's bookkeeping for one line: stable state plus
+// the blocking-protocol transient (busy + queued requests) the paper's
+// Fig. 3 describes (the directory leaves its transient state only after
+// the unblock message).
+type dirLine struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitset of sharer cores
+
+	busy  bool
+	queue []*Msg
+	pend  *pending
+}
+
+// pending tracks an in-flight request being serviced for a busy line.
+type pending struct {
+	req          *Msg
+	invAcksLeft  int
+	rejected     bool
+	rejectorMode htm.Mode
+	evictAcks    int // back-invalidation in progress when > 0
+	evictCont    func()
+}
+
+func (d *dirLine) addSharer(c int)     { d.sharers |= 1 << uint(c) }
+func (d *dirLine) dropSharer(c int)    { d.sharers &^= 1 << uint(c) }
+func (d *dirLine) sharerCount() int    { return bits.OnesCount64(d.sharers) }
+func (d *dirLine) isSharer(c int) bool { return d.sharers&(1<<uint(c)) != 0 }
+
+// Bank is one tile's slice of the shared LLC plus its directory controller.
+// The bank at tile 0 additionally hosts the centralized HTMLock arbiter
+// (paper §III-C: "our approach of LLC's authorization seamlessly extends
+// to distributed LLCs by adding a lightweight centralized arbiter module").
+type Bank struct {
+	sys *System
+	id  int
+	arr *cache.Array
+	dir map[mem.Line]*dirLine
+
+	// Stats.
+	Requests, Rejections, Nacks, MemFetches, BackInvals uint64
+}
+
+func newBank(sys *System, id int, sizeBytes, ways int) *Bank {
+	return &Bank{
+		sys: sys,
+		id:  id,
+		arr: cache.NewArray(sizeBytes, ways),
+		dir: make(map[mem.Line]*dirLine),
+	}
+}
+
+// frame converts a line homed at this bank into its bank-local frame
+// number. Interleaved lines are multiples of the core count apart; without
+// this compression only 1/Cores of the bank's sets would ever be used.
+func (b *Bank) frame(l mem.Line) mem.Line {
+	return mem.Line(uint64(l) / uint64(b.sys.Cores))
+}
+
+// unframe recovers the original line from a bank-local frame.
+func (b *Bank) unframe(f mem.Line) mem.Line {
+	return mem.Line(uint64(f)*uint64(b.sys.Cores) + uint64(b.id))
+}
+
+func (b *Bank) line(l mem.Line) *dirLine {
+	d := b.dir[l]
+	if d == nil {
+		d = &dirLine{owner: -1}
+		b.dir[l] = d
+	}
+	return d
+}
+
+// send dispatches a message from this bank over the NoC.
+func (b *Bank) send(m *Msg) {
+	m.Src = b.id
+	b.sys.route(m)
+}
+
+// Receive is the bank's message input, invoked by the NoC after delivery.
+func (b *Bank) Receive(m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetM:
+		b.Requests++
+		d := b.line(m.Line)
+		if d.busy {
+			d.queue = append(d.queue, m)
+			return
+		}
+		b.service(d, m)
+	case MsgPutM, MsgPutE:
+		d := b.line(m.Line)
+		if d.busy {
+			d.queue = append(d.queue, m)
+			return
+		}
+		b.handlePut(d, m)
+	case MsgTxWB:
+		// Pre-transactional writeback: refresh the LLC copy immediately,
+		// even while busy — it is response-class traffic and the owner is
+		// unchanged.
+		b.fillLLC(m.Line, nil)
+	case MsgOwnerData, MsgNack, MsgRejectFwd:
+		b.ownerReply(m)
+	case MsgInvAck, MsgInvReject:
+		b.invReply(m)
+	case MsgUnblock:
+		b.unblock(m)
+	case MsgHLApply, MsgHLRelease, MsgSigAdd:
+		b.arbiterMsg(m)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d cannot handle %v", b.id, m.Type))
+	}
+}
+
+// service begins working on a GetS/GetM for an idle line.
+func (b *Bank) service(d *dirLine, m *Msg) {
+	// HTMLock: the LLC checks every external request against the overflow
+	// signatures of the active lock transaction (paper Fig. 5 (3)).
+	if b.sys.Arbiter != nil {
+		write := m.Type == MsgGetM
+		wouldBeExclusive := d.state == dirI ||
+			(d.state == dirEM && d.owner == m.Requester)
+		if b.sys.Arbiter.SigConflict(m.Requester, m.Line, write, wouldBeExclusive) {
+			b.Rejections++
+			if b.sys.Tracer.Enabled(trace.CatHTMLock) {
+				b.sys.Tracer.Emitf(b.id, trace.CatHTMLock, m.Line, "LLC signature reject for c%d", m.Requester)
+			}
+			b.sys.Arbiter.NoteRejected(m.Requester)
+			b.sys.Engine.After(b.sys.DirLatency, func() {
+				b.send(&Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
+					Requester: m.Requester, RejectorMode: b.sys.Arbiter.HolderMode()})
+			})
+			return
+		}
+	}
+	d.busy = true
+	d.pend = &pending{req: m}
+	b.ensureLLC(m.Line, func() { b.serviceWithData(d, m) })
+}
+
+// serviceWithData continues once the LLC holds the line.
+func (b *Bank) serviceWithData(d *dirLine, m *Msg) {
+	switch d.state {
+	case dirI:
+		b.sendData(d, MsgDataE)
+	case dirS:
+		if m.Type == MsgGetS {
+			b.sendData(d, MsgDataS)
+			return
+		}
+		// GetM over sharers: invalidate everyone but the requester.
+		n := 0
+		for c := 0; c < b.sys.Cores; c++ {
+			if c != m.Requester && d.isSharer(c) {
+				n++
+				b.send(&Msg{Type: MsgInv, Line: m.Line, Dst: c,
+					Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
+			}
+		}
+		if n == 0 {
+			b.sendData(d, MsgDataE)
+			return
+		}
+		d.pend.invAcksLeft = n
+	case dirEM:
+		if d.owner == m.Requester {
+			// The owner re-requests a line it silently dropped (abort or
+			// race); the LLC copy is the pre-transactional value.
+			b.sendData(d, MsgDataE)
+			return
+		}
+		fwd := MsgFwdGetS
+		if m.Type == MsgGetM {
+			fwd = MsgFwdGetM
+		}
+		b.send(&Msg{Type: fwd, Line: m.Line, Dst: d.owner,
+			Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode,
+			Write: m.Type == MsgGetM})
+	}
+}
+
+// sendData sends the final data response for the pending request after the
+// LLC access latency. The directory stays busy until the unblock arrives.
+func (b *Bank) sendData(d *dirLine, t MsgType) {
+	m := d.pend.req
+	b.sys.Engine.After(b.sys.LLCHit, func() {
+		b.send(&Msg{Type: t, Line: m.Line, Dst: m.Src, Requester: m.Requester})
+	})
+}
+
+// reject closes a pending request with a reject response (the recovery
+// mechanism's withdrawn-request path: Fig. 2 step 6) and reopens the line.
+func (b *Bank) reject(d *dirLine, mode htm.Mode) {
+	m := d.pend.req
+	b.Rejections++
+	b.sys.Engine.After(b.sys.DirLatency, func() {
+		b.send(&Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
+			Requester: m.Requester, RejectorMode: mode})
+	})
+	b.reopen(d)
+}
+
+// reopen clears the busy state and dispatches the next queued request.
+func (b *Bank) reopen(d *dirLine) {
+	d.busy = false
+	d.pend = nil
+	b.drainQueue(d)
+}
+
+func (b *Bank) drainQueue(d *dirLine) {
+	for len(d.queue) > 0 && !d.busy {
+		m := d.queue[0]
+		d.queue = d.queue[1:]
+		switch m.Type {
+		case MsgGetS, MsgGetM:
+			b.service(d, m)
+		case MsgPutM, MsgPutE:
+			b.handlePut(d, m)
+		default:
+			panic(fmt.Sprintf("coherence: queued %v", m.Type))
+		}
+	}
+}
+
+// ownerReply handles the owner's answer to a forward.
+func (b *Bank) ownerReply(m *Msg) {
+	d := b.dir[m.Line]
+	if d == nil || !d.busy || d.pend == nil {
+		panic(fmt.Sprintf("coherence: stray owner reply %v for line %d", m.Type, m.Line))
+	}
+	req := d.pend.req
+	switch m.Type {
+	case MsgOwnerData:
+		b.fillLLC(m.Line, nil)
+		if req.Type == MsgGetS {
+			// Owner downgraded to S and stays a sharer.
+			old := d.owner
+			d.state = dirS
+			d.owner = -1
+			d.sharers = 0
+			d.addSharer(old)
+			b.sendData(d, MsgDataS)
+		} else {
+			d.state = dirI
+			d.owner = -1
+			d.sharers = 0
+			b.sendData(d, MsgDataE)
+		}
+	case MsgNack:
+		// Fig. 3: the owner invalidated itself (transaction abort or
+		// eviction race); the directory serves exclusive data from the LLC
+		// and will hand ownership to the requester.
+		b.Nacks++
+		if b.sys.Tracer.Enabled(trace.CatProto) {
+			b.sys.Tracer.Emitf(b.id, trace.CatProto, m.Line, "NACK from c%d: serve LLC to c%d", m.Src, req.Requester)
+		}
+		d.state = dirI
+		d.owner = -1
+		d.sharers = 0
+		b.sendData(d, MsgDataE)
+	case MsgRejectFwd:
+		// The owner wins the conflict: withdraw the toxic request, leaving
+		// the owner's state untouched (Fig. 4).
+		b.reject(d, m.RejectorMode)
+	}
+}
+
+// invReply collects invalidation acknowledgements for a GetM over sharers.
+func (b *Bank) invReply(m *Msg) {
+	d := b.dir[m.Line]
+	if d == nil || !d.busy || d.pend == nil {
+		panic(fmt.Sprintf("coherence: stray inv reply for line %d", m.Line))
+	}
+	if d.pend.evictCont != nil {
+		b.evictReply(d, m)
+		return
+	}
+	switch m.Type {
+	case MsgInvAck:
+		d.dropSharer(m.Src)
+	case MsgInvReject:
+		d.pend.rejected = true
+		d.pend.rejectorMode = m.RejectorMode
+	}
+	d.pend.invAcksLeft--
+	if d.pend.invAcksLeft > 0 {
+		return
+	}
+	if d.pend.rejected {
+		// At least one transactional sharer defeated the request. The
+		// innocently invalidated sharers stay invalid (conservative); the
+		// rejecting sharers keep their copies.
+		b.reject(d, d.pend.rejectorMode)
+		return
+	}
+	b.sendData(d, MsgDataE)
+}
+
+// unblock finalizes the pending request: the requester reached a stable
+// state, so the directory commits the new owner/sharer map and reopens the
+// line (the SS transition of Fig. 3).
+func (b *Bank) unblock(m *Msg) {
+	d := b.dir[m.Line]
+	if d == nil || !d.busy || d.pend == nil {
+		panic(fmt.Sprintf("coherence: stray unblock for line %d", m.Line))
+	}
+	if m.Excl {
+		d.state = dirEM
+		d.owner = m.Src
+		d.sharers = 0
+	} else {
+		d.state = dirS
+		d.owner = -1
+		d.addSharer(m.Src)
+	}
+	b.reopen(d)
+}
+
+// handlePut processes an eviction notice.
+func (b *Bank) handlePut(d *dirLine, m *Msg) {
+	if d.state != dirEM || d.owner != m.Src {
+		// Stale Put: the core lost ownership while the Put was in flight
+		// (it already answered the racing forward with a Nack). Drop it.
+		return
+	}
+	if m.Type == MsgPutM {
+		b.fillLLC(m.Line, nil)
+	}
+	d.state = dirI
+	d.owner = -1
+	d.sharers = 0
+}
+
+// arbiterMsg handles HTMLock arbitration traffic at the arbiter bank.
+func (b *Bank) arbiterMsg(m *Msg) {
+	a := b.sys.Arbiter
+	if a == nil {
+		panic("coherence: arbiter message without HTMLock")
+	}
+	core := m.Requester
+	switch m.Type {
+	case MsgHLApply:
+		if m.ReqMode == htm.STL {
+			// switchingMode application: atomic grant-or-deny (Fig. 6).
+			t := MsgHLDeny
+			if a.ApplySTL(core) {
+				t = MsgHLGrant
+			}
+			b.sys.Engine.After(b.sys.DirLatency, func() {
+				b.send(&Msg{Type: t, Dst: core, Requester: core})
+			})
+			return
+		}
+		// TL application: the caller holds the fallback lock; it may still
+		// have to wait out an active STL transaction.
+		a.ApplyTL(core, func() {
+			b.sys.Engine.After(b.sys.DirLatency, func() {
+				b.send(&Msg{Type: MsgHLGrant, Dst: core, Requester: core})
+			})
+		})
+	case MsgHLRelease:
+		a.Release(core)
+	case MsgSigAdd:
+		// The shared signature state was already updated synchronously at
+		// the evicting L1 (modeling replicated signature registers); this
+		// message accounts for the update's NoC bandwidth only.
+	}
+}
+
+// ensureLLC guarantees the LLC holds the line, fetching from memory (and
+// back-invalidating a victim if the set is full of lines with L1 copies)
+// before invoking cont.
+func (b *Bank) ensureLLC(l mem.Line, cont func()) {
+	if b.arr.Lookup(b.frame(l)) != nil {
+		if cont != nil {
+			cont()
+		}
+		return
+	}
+	b.MemFetches++
+	b.sys.Engine.After(b.sys.MemLatency, func() { b.allocate(l, cont) })
+}
+
+// fillLLC refreshes (or allocates) the LLC copy of a line on a writeback.
+func (b *Bank) fillLLC(l mem.Line, cont func()) {
+	if e := b.arr.Lookup(b.frame(l)); e != nil {
+		e.Dirty = true
+		if cont != nil {
+			cont()
+		}
+		return
+	}
+	b.allocate(l, cont)
+}
+
+// allocate finds a victim way for the line, running the back-invalidation
+// flow when inclusion forces eviction of a line with live L1 copies.
+func (b *Bank) allocate(l mem.Line, cont func()) {
+	// The array stores bank-local frames; protection predicates look up
+	// the directory by the original line.
+	protected := func(e *cache.Entry) bool {
+		d := b.dir[b.unframe(e.Line)]
+		if d == nil {
+			return false
+		}
+		if d.busy {
+			return true
+		}
+		// Never evict lines plausibly owned by the active lock transaction.
+		if b.sys.Arbiter != nil && b.sys.Arbiter.Holder() >= 0 {
+			h := b.sys.Arbiter.Holder()
+			if d.owner == h || d.isSharer(h) {
+				return true
+			}
+		}
+		return false
+	}
+	avoid := func(e *cache.Entry) bool {
+		if protected(e) {
+			return true
+		}
+		d := b.dir[b.unframe(e.Line)]
+		return d != nil && d.state != dirI
+	}
+	f := b.frame(l)
+	if v := b.arr.Victim(f, avoid); v != nil {
+		b.arr.Install(v, f, cache.Modified)
+		if cont != nil {
+			cont()
+		}
+		return
+	}
+	// Every way holds a line with L1 copies (or is protected): back-
+	// invalidate the least bad choice.
+	v := b.arr.Victim(f, protected)
+	if v == nil {
+		v = b.arr.AnyVictim(f)
+	}
+	if v == nil {
+		panic(fmt.Sprintf("coherence: bank %d cannot allocate line %d (set wedged)", b.id, l))
+	}
+	b.backInvalidate(b.unframe(v.Line), func() {
+		b.arr.Install(v, f, cache.Modified)
+		if cont != nil {
+			cont()
+		}
+	})
+}
+
+// backInvalidate recalls all L1 copies of a line being evicted from the
+// inclusive LLC, then deletes its directory entry and continues.
+func (b *Bank) backInvalidate(l mem.Line, cont func()) {
+	d := b.dir[l]
+	if d == nil || (d.state == dirI && !d.busy) {
+		delete(b.dir, l)
+		cont()
+		return
+	}
+	if d.busy {
+		panic("coherence: back-invalidating a busy line")
+	}
+	b.BackInvals++
+	if b.sys.Tracer.Enabled(trace.CatProto) {
+		b.sys.Tracer.Emitf(b.id, trace.CatProto, l, "back-invalidation")
+	}
+	targets := d.sharers
+	if d.state == dirEM {
+		targets = 1 << uint(d.owner)
+	}
+	n := bits.OnesCount64(targets)
+	if n == 0 {
+		delete(b.dir, l)
+		cont()
+		return
+	}
+	d.busy = true
+	d.pend = &pending{evictAcks: n, evictCont: cont}
+	for c := 0; c < b.sys.Cores; c++ {
+		if targets&(1<<uint(c)) != 0 {
+			b.send(&Msg{Type: MsgInv, Line: l, Dst: c, Requester: -1, ReqMode: htm.NonTx})
+		}
+	}
+}
+
+// evictReply collects back-invalidation acks. L1s may not reject an LLC
+// recall (lock-transaction lines are shielded by victim selection; HTM
+// transactions abort with a capacity cause instead).
+func (b *Bank) evictReply(d *dirLine, m *Msg) {
+	if m.Type == MsgInvReject {
+		panic("coherence: L1 rejected an LLC back-invalidation")
+	}
+	d.pend.evictAcks--
+	if d.pend.evictAcks > 0 {
+		return
+	}
+	cont := d.pend.evictCont
+	queue := d.queue
+	delete(b.dir, m.Line)
+	cont()
+	// Requests that queued behind the eviction restart from scratch.
+	for _, q := range queue {
+		q := q
+		b.sys.Engine.After(1, func() { b.Receive(q) })
+	}
+}

@@ -1,0 +1,910 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/priority"
+	"repro/internal/trace"
+)
+
+// Client is the CPU-side listener an L1 notifies when its transaction is
+// doomed by an external event (conflict loss, reject policy, overflow).
+// The L1 has already flash-cleared its transactional state when OnDoom
+// runs; the client only schedules the architectural rollback.
+type Client interface {
+	OnDoom(cause htm.AbortCause)
+}
+
+// mshrState tracks a miss request's lifecycle.
+type mshrState uint8
+
+const (
+	mshrInFlight mshrState = iota
+	mshrParked             // rejected and waiting (wake-up or timed retry)
+)
+
+// mshr is a miss-status holding register entry: one in-flight or parked
+// request per line. A rejected request is "held in the MSHR, marked
+// incomplete, and restored to the state before sending" (paper §III-A).
+type mshr struct {
+	line    mem.Line
+	write   bool
+	txBits  bool // set tx metadata on fill
+	epoch   uint64
+	state   mshrState
+	done    func()
+	waiters []func()
+	parkSeq uint64 // invalidates stale park timeouts
+}
+
+// L1 is a private L1 cache controller with best-effort HTM support and the
+// three LockillerTM mechanisms.
+type L1 struct {
+	sys  *System
+	core int
+	arr  *cache.Array
+	// mid is the private middle cache of the MESI-Three-Level-HTM variant
+	// (nil in the paper's streamlined two-level organization).
+	mid *cache.Array
+	Tx  *htm.TxState
+
+	client Client
+	epoch  uint64 // bumped on every abort; stale callbacks are dropped
+
+	mshrs map[mem.Line]*mshr
+
+	// applyingHLA state (switchingMode, paper Fig. 6): while an HLApply is
+	// outstanding, external requests are blocked and queued.
+	applying   bool
+	applyCont  func(granted bool)
+	blockedExt []*Msg
+
+	// wake is the recovery mechanism's wake-up table (Fig. 2): cores whose
+	// requests this cache rejected, to be woken at commit/abort.
+	wake htm.WakeSet
+
+	// Stats.
+	Hits, Misses, MidHits, TxWBs   uint64
+	RejectsSent, RejectsReceived   uint64
+	NacksSent, WakesSent           uint64
+	OverflowEvictions, SwitchTries uint64
+	SwitchGrants                   uint64
+}
+
+func newL1(sys *System, core int) *L1 {
+	l1 := &L1{
+		sys:   sys,
+		core:  core,
+		arr:   cache.NewArray(sys.L1Size, sys.L1Ways),
+		Tx:    &htm.TxState{Core: core, Cfg: sys.HTM},
+		mshrs: make(map[mem.Line]*mshr),
+	}
+	if sys.MidSize > 0 {
+		l1.mid = cache.NewArray(sys.MidSize, sys.MidWays)
+	}
+	return l1
+}
+
+// MidArray exposes the middle cache (nil when two-level) to tests.
+func (l1 *L1) MidArray() *cache.Array { return l1.mid }
+
+// SetClient installs the CPU-side doom listener.
+func (l1 *L1) SetClient(c Client) { l1.client = c }
+
+// Core returns the core/tile id.
+func (l1 *L1) Core() int { return l1.core }
+
+// Array exposes the data array to tests and stats.
+func (l1 *L1) Array() *cache.Array { return l1.arr }
+
+// ParkedRequests returns the number of rejected requests currently held in
+// MSHRs awaiting a wake-up or timed retry (diagnostics).
+func (l1 *L1) ParkedRequests() int {
+	n := 0
+	for _, ms := range l1.mshrs {
+		if ms.state == mshrParked {
+			n++
+		}
+	}
+	return n
+}
+
+func (l1 *L1) send(m *Msg) {
+	m.Src = l1.core
+	l1.sys.route(m)
+}
+
+// guard wraps a CPU continuation so it fires only if no abort intervened.
+func (l1 *L1) guard(fn func()) func() {
+	ep := l1.epoch
+	return func() {
+		if l1.epoch == ep && fn != nil {
+			fn()
+		}
+	}
+}
+
+// tracking reports whether accesses should set transactional metadata.
+func (l1 *L1) tracking() bool { return l1.Tx.InTx() }
+
+// Access performs a load (write=false) or store (write=true) to a line.
+// done runs when the access completes; it is dropped if the transaction
+// aborts first. The L1 resolves mode (plain / HTM / TL / STL) from the
+// shared TxState.
+func (l1 *L1) Access(line mem.Line, write bool, done func()) {
+	gdone := l1.guard(done)
+	if m, ok := l1.mshrs[line]; ok {
+		// A request for this line is already outstanding (e.g. issued by a
+		// previous, aborted attempt). Re-dispatch when it resolves.
+		ep := l1.epoch
+		m.waiters = append(m.waiters, func() {
+			if l1.epoch == ep {
+				l1.Access(line, write, done)
+			}
+		})
+		return
+	}
+	e := l1.arr.Lookup(line)
+	if e != nil && e.State.Valid() {
+		if !write || e.State == cache.Exclusive || e.State == cache.Modified {
+			l1.Hits++
+			l1.hit(e, write, gdone)
+			return
+		}
+		// Store to a Shared line: upgrade.
+		l1.Misses++
+		e.State = cache.StoM
+		l1.issue(line, true, gdone)
+		return
+	}
+	if e != nil {
+		panic(fmt.Sprintf("coherence: L1 %d access to transient line %d without MSHR", l1.core, line))
+	}
+	if me := l1.midLookup(line); me != nil && me.State.Valid() {
+		// Three-level: middle-cache hit; promote into the L1.
+		l1.Misses++
+		l1.MidHits++
+		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, gdone) })
+		return
+	}
+	l1.Misses++
+	l1.allocateAndIssue(line, write, gdone)
+}
+
+// hit completes an access that hit in the L1.
+func (l1 *L1) hit(e *cache.Entry, write bool, gdone func()) {
+	tx := l1.tracking()
+	if write {
+		if tx && l1.Tx.Mode == htm.HTM && e.Dirty && !e.TxWrite {
+			// Eager version management: the pre-transactional dirty value
+			// must reach the LLC before the line joins the write set, so an
+			// abort (which drops the line) cannot lose it.
+			l1.TxWBs++
+			l1.send(&Msg{Type: MsgTxWB, Line: e.Line, Dst: l1.sys.HomeBank(e.Line), Requester: l1.core})
+		}
+		if e.State == cache.Exclusive {
+			e.State = cache.Modified
+		}
+		e.Dirty = true
+		if tx && !e.TxWrite {
+			e.TxWrite = true
+			l1.Tx.WriteLines++
+		}
+	} else if tx && !e.TxRead {
+		e.TxRead = true
+		l1.Tx.ReadLines++
+	}
+	l1.sys.Engine.After(l1.sys.L1Hit, gdone)
+}
+
+// allocateAndIssue finds a way for the missing line — possibly triggering
+// the capacity-overflow machinery — and sends the request.
+func (l1 *L1) allocateAndIssue(line mem.Line, write bool, gdone func()) {
+	v := l1.allocateWay(line, write, gdone)
+	if v == nil {
+		return // diverted to the overflow machinery
+	}
+	st := cache.ItoS
+	if write {
+		st = cache.ItoM
+	}
+	l1.arr.Install(v, line, st)
+	l1.issue(line, write, gdone)
+}
+
+// allocateWay finds (and frees) an L1 way for the line, returning nil when
+// the access was diverted to the overflow machinery.
+func (l1 *L1) allocateWay(line mem.Line, write bool, gdone func()) *cache.Entry {
+	if l1.midEnabled() {
+		return l1.l1VictimOrDemote(line, write, gdone)
+	}
+	avoidTx := func(e *cache.Entry) bool { return e.Tx() }
+	v := l1.arr.Victim(line, avoidTx)
+	if v == nil {
+		// Every way in the set holds transactional data: capacity overflow.
+		l1.overflow(line, write, gdone)
+		return nil
+	}
+	if v.State.Valid() {
+		l1.evict(v)
+	}
+	return v
+}
+
+// overflow handles a transactional set overflow: lock transactions spill a
+// line into the LLC signatures; HTM transactions try switchingMode once,
+// then abort with a capacity cause.
+func (l1 *L1) overflow(line mem.Line, write bool, gdone func()) {
+	switch {
+	case l1.Tx.Mode.Lock():
+		v := l1.arr.AnyVictim(line)
+		if v == nil {
+			panic(fmt.Sprintf("coherence: L1 %d set wedged for line %d", l1.core, line))
+		}
+		l1.spillToSignature(v)
+		st := cache.ItoS
+		if write {
+			st = cache.ItoM
+		}
+		l1.arr.Install(v, line, st)
+		l1.issue(line, write, gdone)
+	case l1.Tx.Mode == htm.HTM && l1.sys.HTM.SwitchingMode && !l1.Tx.TriedSwitch:
+		// Fig. 6: revoke the request, enter applyingHLA, apply to the LLC
+		// for STL authorization, and re-issue the revoked request after the
+		// decision (retrying it as the lock-mode spill path on grant).
+		l1.trySwitch(func() { l1.allocateAndIssue(line, write, gdone) })
+	case l1.Tx.Mode == htm.HTM:
+		l1.abortTx(htm.CauseOverflow)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d overflow outside a transaction (mode %v)", l1.core, l1.Tx.Mode))
+	}
+}
+
+// spillToSignature evicts a lock-transaction line into the LLC overflow
+// signatures (paper Fig. 5 (2)).
+func (l1 *L1) spillToSignature(v *cache.Entry) {
+	l1.OverflowEvictions++
+	if l1.sys.Tracer.Enabled(trace.CatHTMLock) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatHTMLock, v.Line, "signature spill r=%v w=%v", v.TxRead, v.TxWrite)
+	}
+	l1.sys.Arbiter.RecordOverflow(l1.core, v.Line, v.TxRead, v.TxWrite)
+	l1.send(&Msg{Type: MsgSigAdd, Line: v.Line, Dst: l1.sys.ArbiterTile,
+		Requester: l1.core, Write: v.TxWrite})
+	l1.evictLine(v)
+}
+
+// evict writes back or silently drops a non-transactional victim.
+func (l1 *L1) evict(v *cache.Entry) {
+	if v.Tx() {
+		panic(fmt.Sprintf("coherence: L1 %d evicting transactional line %d outside the overflow path", l1.core, v.Line))
+	}
+	l1.evictLine(v)
+}
+
+func (l1 *L1) evictLine(v *cache.Entry) {
+	switch v.State {
+	case cache.Modified:
+		l1.send(&Msg{Type: MsgPutM, Line: v.Line, Dst: l1.sys.HomeBank(v.Line), Requester: l1.core})
+	case cache.Exclusive:
+		l1.send(&Msg{Type: MsgPutE, Line: v.Line, Dst: l1.sys.HomeBank(v.Line), Requester: l1.core})
+	case cache.Shared:
+		// Silent drop; the directory tolerates stale sharers.
+	default:
+		panic(fmt.Sprintf("coherence: evicting line %d in state %v", v.Line, v.State))
+	}
+	v.State = cache.Invalid
+	v.Dirty = false
+	v.TxRead = false
+	v.TxWrite = false
+}
+
+// issue creates the MSHR and sends the coherence request with the current
+// priority piggybacked (the recovery mechanism's user-defined data).
+func (l1 *L1) issue(line mem.Line, write bool, gdone func()) {
+	m := &mshr{line: line, write: write, txBits: l1.tracking(), epoch: l1.epoch, done: gdone}
+	l1.mshrs[line] = m
+	l1.sendReq(m)
+}
+
+func (l1 *L1) sendReq(m *mshr) {
+	t := MsgGetS
+	if m.write {
+		t = MsgGetM
+	}
+	if l1.sys.Tracer.Enabled(trace.CatProto) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatProto, m.line, "%v prio=%d mode=%v", t, l1.Tx.Priority(), l1.Tx.Mode)
+	}
+	l1.send(&Msg{Type: t, Line: m.line, Dst: l1.sys.HomeBank(m.line),
+		Requester: l1.core, Prio: l1.Tx.Priority(), ReqMode: l1.Tx.Mode})
+}
+
+// Receive is the L1's message input.
+func (l1 *L1) Receive(m *Msg) {
+	switch m.Type {
+	case MsgDataS, MsgDataE:
+		l1.fill(m)
+	case MsgReject:
+		l1.rejected(m)
+	case MsgFwdGetS, MsgFwdGetM:
+		if l1.applying {
+			l1.blockedExt = append(l1.blockedExt, m)
+			return
+		}
+		l1.forwarded(m)
+	case MsgInv:
+		if l1.applying {
+			l1.blockedExt = append(l1.blockedExt, m)
+			return
+		}
+		l1.invalidated(m)
+	case MsgWakeUp:
+		l1.wakeParked()
+	case MsgHLGrant, MsgHLDeny:
+		if l1.applyCont == nil {
+			panic(fmt.Sprintf("coherence: L1 %d stray %v", l1.core, m.Type))
+		}
+		cont := l1.applyCont
+		l1.applyCont = nil
+		cont(m.Type == MsgHLGrant)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l1.core, m.Type))
+	}
+}
+
+// fill completes a miss: install data, settle the stable state, unblock the
+// directory, and release the CPU and any waiters.
+func (l1 *L1) fill(m *Msg) {
+	ms := l1.mshrs[m.Line]
+	if ms == nil {
+		panic(fmt.Sprintf("coherence: L1 %d fill without MSHR for line %d", l1.core, m.Line))
+	}
+	delete(l1.mshrs, m.Line)
+	e := l1.arr.Lookup(m.Line)
+	if e == nil || !e.State.Transient() {
+		panic(fmt.Sprintf("coherence: L1 %d fill for line %d in state %v", l1.core, m.Line, e))
+	}
+	excl := m.Type == MsgDataE
+	if excl {
+		if ms.write {
+			e.State = cache.Modified
+			e.Dirty = true
+		} else {
+			e.State = cache.Exclusive
+		}
+	} else {
+		e.State = cache.Shared
+	}
+	// Transactional bits apply only if the requesting attempt is still the
+	// live one; a post-abort fill installs the line non-transactionally.
+	if ms.txBits && ms.epoch == l1.epoch && l1.tracking() {
+		if ms.write {
+			if !e.TxWrite {
+				e.TxWrite = true
+				l1.Tx.WriteLines++
+			}
+		} else if !e.TxRead {
+			e.TxRead = true
+			l1.Tx.ReadLines++
+		}
+	}
+	l1.send(&Msg{Type: MsgUnblock, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+		Requester: l1.core, Excl: excl})
+	l1.sys.Engine.After(l1.sys.L1Hit, func() {
+		if ms.done != nil {
+			ms.done()
+		}
+		for _, w := range ms.waiters {
+			w()
+		}
+	})
+}
+
+// rejected handles a withdrawn request (recovery mechanism / signature
+// hit): restore the pre-request state and apply the reject policy.
+func (l1 *L1) rejected(m *Msg) {
+	ms := l1.mshrs[m.Line]
+	if ms == nil {
+		panic(fmt.Sprintf("coherence: L1 %d reject without MSHR for line %d", l1.core, m.Line))
+	}
+	l1.RejectsReceived++
+	if l1.sys.Tracer.Enabled(trace.CatConflict) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatConflict, m.Line, "request rejected by %v", m.RejectorMode)
+	}
+	// Restore the array state from before the request (paper Fig. 2 (7)).
+	e := l1.arr.Lookup(m.Line)
+	if e != nil && e.State.Transient() {
+		if e.State == cache.StoM {
+			e.State = cache.Shared // the S copy survived arbitration
+		} else {
+			e.State = cache.Invalid
+			e.TxRead = false
+			e.TxWrite = false
+		}
+	}
+	if ms.epoch != l1.epoch {
+		// The requesting attempt already aborted; drop the request but let
+		// newer waiters re-dispatch.
+		l1.resolveParked(ms)
+		return
+	}
+	if l1.Tx.Mode == htm.HTM {
+		switch l1.sys.HTM.RejectPolicy {
+		case htm.SelfAbort:
+			l1.resolveParked(ms)
+			l1.abortTx(l1.causeFromRejector(m))
+			return
+		case htm.RetryLater:
+			l1.park(ms, l1.sys.HTM.RetryBackoff)
+			return
+		case htm.WaitWakeup:
+			l1.park(ms, l1.sys.HTM.RejectTimeout)
+			return
+		}
+	}
+	// Plain, mutex-mode, and lock-mode requesters always hold and retry:
+	// they have no transaction to abort. (A lock transaction is never
+	// rejected — it carries the maximum priority — but a signature race
+	// during its entry resolves here too.)
+	l1.park(ms, l1.sys.HTM.RejectTimeout)
+}
+
+// causeFromRejector classifies the abort cause when a rejected transaction
+// gives up (SelfAbort policy).
+func (l1 *L1) causeFromRejector(m *Msg) htm.AbortCause {
+	if m.Line == l1.sys.LockLine {
+		return htm.CauseMutex
+	}
+	return CauseFor(m.RejectorMode)
+}
+
+// park holds a rejected request in the MSHR and schedules a retry after the
+// timeout; an earlier wake-up retries sooner.
+func (l1 *L1) park(ms *mshr, timeout uint64) {
+	ms.state = mshrParked
+	ms.parkSeq++
+	seq := ms.parkSeq
+	ep := l1.epoch
+	l1.sys.Engine.After(timeout, func() {
+		if l1.epoch == ep && l1.mshrs[ms.line] == ms && ms.state == mshrParked && ms.parkSeq == seq {
+			l1.retry(ms)
+		}
+	})
+}
+
+// wakeParked retries every parked request (wake-up message received).
+func (l1 *L1) wakeParked() {
+	for _, ms := range l1.mshrs {
+		if ms.state == mshrParked {
+			l1.retry(ms)
+		}
+	}
+}
+
+// retry re-sends a parked request. The array entry was restored on reject,
+// so the allocation must be redone.
+func (l1 *L1) retry(ms *mshr) {
+	if ms.epoch != l1.epoch {
+		l1.resolveParked(ms)
+		return
+	}
+	ms.state = mshrInFlight
+	e := l1.arr.Lookup(ms.line)
+	if e != nil && e.State.Valid() {
+		if e.State == cache.Shared && ms.write {
+			e.State = cache.StoM
+			l1.sendReq(ms)
+			return
+		}
+		if !ms.write || e.State != cache.Shared {
+			// Someone else's fill (or a racing wake) satisfied us already.
+			l1.fillFromLocal(ms, e)
+			return
+		}
+	}
+	// Re-allocate a way; the set may have changed since the reject.
+	if me := l1.midLookup(ms.line); me != nil && me.State.Valid() {
+		delete(l1.mshrs, ms.line)
+		waiters := ms.waiters
+		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, ms.write, ms.done) })
+		for _, w := range waiters {
+			w()
+		}
+		return
+	}
+	v := l1.allocateWay(ms.line, ms.write, ms.done)
+	if v == nil {
+		delete(l1.mshrs, ms.line)
+		for _, w := range ms.waiters {
+			w()
+		}
+		return
+	}
+	st := cache.ItoS
+	if ms.write {
+		st = cache.ItoM
+	}
+	l1.arr.Install(v, ms.line, st)
+	l1.sendReq(ms)
+}
+
+// fillFromLocal completes a parked request that a later access already
+// satisfied.
+func (l1 *L1) fillFromLocal(ms *mshr, e *cache.Entry) {
+	delete(l1.mshrs, ms.line)
+	if ms.write {
+		if e.State == cache.Exclusive {
+			e.State = cache.Modified
+		}
+		e.Dirty = true
+	}
+	if ms.txBits && ms.epoch == l1.epoch && l1.tracking() {
+		if ms.write && !e.TxWrite {
+			e.TxWrite = true
+			l1.Tx.WriteLines++
+		} else if !ms.write && !e.TxRead {
+			e.TxRead = true
+			l1.Tx.ReadLines++
+		}
+	}
+	l1.sys.Engine.After(l1.sys.L1Hit, func() {
+		if ms.done != nil {
+			ms.done()
+		}
+		for _, w := range ms.waiters {
+			w()
+		}
+	})
+}
+
+// resolveParked drops a dead MSHR, re-dispatching any waiters.
+func (l1 *L1) resolveParked(ms *mshr) {
+	delete(l1.mshrs, ms.line)
+	for _, w := range ms.waiters {
+		w()
+	}
+}
+
+// forwarded handles FwdGetS/FwdGetM: the conflict-detection and resolution
+// core of the protocol (paper Fig. 4).
+func (l1 *L1) forwarded(m *Msg) {
+	e := l1.arr.Peek(m.Line)
+	inL1 := e != nil && e.State.Valid()
+	if !inL1 {
+		if me := l1.midLookup(m.Line); me != nil && me.State.Valid() {
+			e = me // three-level: the private middle cache holds the line
+		} else {
+			// We no longer hold the line (transaction abort or eviction
+			// race): tell the directory to serve from the LLC and move
+			// ownership — the NACK flow of Fig. 3.
+			l1.NacksSent++
+			l1.send(&Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+			return
+		}
+	}
+	conflict := e.TxWrite || (e.Tx() && m.Type == MsgFwdGetM)
+	if conflict && l1.Tx.InTx() {
+		if l1.ownerWins(m) {
+			l1.RejectsSent++
+			l1.noteRejected(m)
+			if l1.sys.Tracer.Enabled(trace.CatConflict) {
+				l1.sys.Tracer.Emitf(l1.core, trace.CatConflict, m.Line,
+					"reject %v from c%d (own prio %d vs %d)", m.Type, m.Requester, l1.Tx.Priority(), m.Prio)
+			}
+			l1.sys.Engine.After(l1.arbDelay(), func() {
+				l1.send(&Msg{Type: MsgRejectFwd, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+					Requester: m.Requester, RejectorMode: l1.Tx.Mode})
+			})
+			return
+		}
+		// Requester-win: abort and NACK so the directory hands the
+		// (pre-transactional, LLC-resident) data to the requester. The
+		// abort drops write-set lines; a conflicting line we only read
+		// (e.g. an FwdGetM over a TxRead Exclusive line) survives it and
+		// must be invalidated here — the requester becomes the owner.
+		l1.abortTx(l1.victimCause(m))
+		if e.State.Valid() {
+			e.State = cache.Invalid
+			e.Dirty = false
+			e.TxRead = false
+			e.TxWrite = false
+		}
+		l1.NacksSent++
+		l1.send(&Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+		return
+	}
+	// No conflict: ordinary ownership transfer / downgrade.
+	respond := func(e *cache.Entry) {
+		if m.Type == MsgFwdGetS {
+			e.State = cache.Shared
+			e.Dirty = false
+		} else {
+			wasTx := e.Tx()
+			e.State = cache.Invalid
+			e.Dirty = false
+			if wasTx {
+				panic("coherence: non-conflicting FwdGetM over a transactional line")
+			}
+		}
+		l1.send(&Msg{Type: MsgOwnerData, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+	}
+	if inL1 && l1.midEnabled() {
+		// The three-level odd design: flush the line from the L1 to the
+		// middle cache before answering — even for plain loads — paying
+		// the middle-cache latency and losing the L1 copy (§IV-A).
+		l1.sys.Engine.After(l1.sys.MidHit, func() {
+			if !e.State.Valid() {
+				// The line moved while the flush was in flight (abort).
+				l1.NacksSent++
+				l1.send(&Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+				return
+			}
+			if me := l1.midFlushForForward(e); me != nil {
+				respond(me)
+				return
+			}
+			respond(e) // flush could not place the line; respond in place
+		})
+		return
+	}
+	respond(e)
+}
+
+// invalidated handles Inv: either a GetM over sharers or an LLC
+// back-invalidation (Requester == -1).
+func (l1 *L1) invalidated(m *Msg) {
+	e := l1.arr.Peek(m.Line)
+	ack := func() {
+		l1.send(&Msg{Type: MsgInvAck, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+	}
+	if e == nil || (!e.State.Valid() && e.State != cache.StoM) {
+		if me := l1.midLookup(m.Line); me != nil && me.State.Valid() {
+			e = me // three-level: invalidate the middle-cache copy
+		} else {
+			// Stale sharer (silent drop) or transient without a copy.
+			ack()
+			return
+		}
+	}
+	if m.Requester == -1 {
+		// LLC back-invalidation: unconditional recall.
+		if e.Tx() && l1.Tx.InTx() {
+			if l1.Tx.Mode.Lock() {
+				l1.spillToSignature(e)
+				ack()
+				return
+			}
+			l1.abortTx(htm.CauseOverflow)
+			ack()
+			return
+		}
+		l1.dropForInv(e)
+		ack()
+		return
+	}
+	if e.Tx() && l1.Tx.InTx() {
+		if l1.ownerWins(m) {
+			l1.RejectsSent++
+			l1.noteRejected(m)
+			l1.sys.Engine.After(l1.arbDelay(), func() {
+				l1.send(&Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+					Requester: m.Requester, RejectorMode: l1.Tx.Mode})
+			})
+			return
+		}
+		l1.abortTx(l1.victimCause(m))
+		// The abort dropped write-set lines; this line was in the read set
+		// (it was Shared), so drop it now.
+		if e.State.Valid() || e.State == cache.StoM {
+			l1.dropForInv(e)
+		}
+		ack()
+		return
+	}
+	l1.dropForInv(e)
+	ack()
+}
+
+// dropForInv invalidates a line for an Inv, preserving an in-flight
+// upgrade's MSHR by demoting StoM to ItoM.
+func (l1 *L1) dropForInv(e *cache.Entry) {
+	if e.State == cache.StoM {
+		e.State = cache.ItoM
+		e.TxRead = false
+		e.TxWrite = false
+		return
+	}
+	e.State = cache.Invalid
+	e.Dirty = false
+	e.TxRead = false
+	e.TxWrite = false
+}
+
+// ownerWins arbitrates a conflict between this (transactional) owner and
+// the requester described by the message (Fig. 4's green logic).
+func (l1 *L1) ownerWins(m *Msg) bool {
+	if l1.Tx.Mode.Lock() {
+		return true // irrevocable lock transactions always win
+	}
+	switch m.ReqMode {
+	case htm.NonTx, htm.Mutex:
+		// Non-speculative accesses always defeat speculative transactions
+		// (best-effort HTM's strong isolation).
+		return false
+	}
+	if !l1.sys.HTM.ConflictArbitration() {
+		return false // pure requester-win baseline
+	}
+	return priority.Wins(l1.Tx.Priority(), l1.core, m.Prio, m.Requester)
+}
+
+// arbDelay models LosaTM's extra arbitration cycle ("the cache controller
+// needs an extra cycle of delay in exceptional cases").
+func (l1 *L1) arbDelay() uint64 {
+	if l1.sys.HTM.Losa {
+		return 1
+	}
+	return 0
+}
+
+// victimCause classifies the abort cause when this transaction loses a
+// conflict to the message's requester.
+func (l1 *L1) victimCause(m *Msg) htm.AbortCause {
+	if m.Line == l1.sys.LockLine {
+		return htm.CauseMutex
+	}
+	return CauseFor(m.ReqMode)
+}
+
+// noteRejected records the rejected requester for a wake-up at commit or
+// abort time. Recording is skipped when neither the system's reject policy
+// nor the requester's mode will ever park waiting for a wake-up.
+func (l1 *L1) noteRejected(m *Msg) {
+	if m.ReqMode == htm.HTM && l1.sys.HTM.RejectPolicy != htm.WaitWakeup {
+		return
+	}
+	l1.wake.Add(m.Requester)
+}
+
+// sendWakes drains the wake-up table (checked at transaction commit and
+// abort, paper Fig. 2 (8)).
+func (l1 *L1) sendWakes() {
+	l1.wake.Drain(func(core int) {
+		l1.WakesSent++
+		l1.send(&Msg{Type: MsgWakeUp, Dst: core})
+	})
+}
+
+// abortTx flash-clears the transactional state: speculative lines are
+// dropped (the directory learns lazily via NACKs), parked requests die,
+// rejected requesters are woken, and the CPU is notified to roll back.
+func (l1 *L1) abortTx(cause htm.AbortCause) {
+	if l1.Tx.Doomed {
+		return // already aborting; first cause wins
+	}
+	if l1.Tx.Mode != htm.HTM {
+		panic(fmt.Sprintf("coherence: abort in mode %v", l1.Tx.Mode))
+	}
+	if l1.sys.Tracer.Enabled(trace.CatTx) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatTx, 0, "abort cause=%v attempt=%d reads=%d writes=%d",
+			cause, l1.Tx.Attempt, l1.Tx.ReadLines, l1.Tx.WriteLines)
+	}
+	l1.Tx.Doom(cause)
+	l1.Tx.Mode = htm.NonTx // hardware leaves transactional mode on abort
+	l1.epoch++
+	l1.arr.ClearTx(true)
+	l1.midClearTx(true)
+	for _, ms := range l1.mshrs {
+		if ms.state == mshrParked {
+			l1.resolveParked(ms)
+		}
+		// In-flight entries stay: their responses settle the line and
+		// unblock the directory; the stale CPU callback is epoch-guarded.
+	}
+	l1.sendWakes()
+	if l1.client != nil {
+		l1.client.OnDoom(cause)
+	}
+}
+
+// AbortLocal aborts the running HTM transaction for a core-internal reason
+// (exception, explicit xabort, reject policy).
+func (l1 *L1) AbortLocal(cause htm.AbortCause) { l1.abortTx(cause) }
+
+// CommitTx commits the running HTM transaction: transactional metadata is
+// flash-cleared (written lines stay valid and dirty) and rejected
+// requesters are woken.
+func (l1 *L1) CommitTx() {
+	if l1.Tx.Mode != htm.HTM {
+		panic(fmt.Sprintf("coherence: commit in mode %v", l1.Tx.Mode))
+	}
+	if l1.sys.Tracer.Enabled(trace.CatTx) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatTx, 0, "commit attempt=%d reads=%d writes=%d",
+			l1.Tx.Attempt, l1.Tx.ReadLines, l1.Tx.WriteLines)
+	}
+	l1.arr.ClearTx(false)
+	l1.midClearTx(false)
+	l1.Tx.Mode = htm.NonTx
+	l1.sendWakes()
+	l1.sys.Engine.Progress()
+}
+
+// trySwitch runs the switchingMode application (Fig. 6): block external
+// requests, ask the LLC arbiter for STL authorization, and either continue
+// as a lock transaction or abort with the capacity cause.
+func (l1 *L1) trySwitch(retry func()) {
+	l1.SwitchTries++
+	l1.Tx.TriedSwitch = true
+	l1.applying = true
+	ep := l1.epoch
+	l1.applyCont = func(granted bool) {
+		l1.applying = false
+		blocked := l1.blockedExt
+		l1.blockedExt = nil
+		switch {
+		case l1.epoch != ep:
+			// The transaction died while applying (e.g. a rejected request
+			// self-aborted). Give back a granted authorization.
+			if granted {
+				l1.send(&Msg{Type: MsgHLRelease, Dst: l1.sys.ArbiterTile, Requester: l1.core})
+			}
+		case granted:
+			l1.SwitchGrants++
+			if l1.sys.Tracer.Enabled(trace.CatHTMLock) {
+				l1.sys.Tracer.Emit(l1.core, trace.CatHTMLock, 0, "switchingMode granted: now STL")
+			}
+			l1.Tx.Mode = htm.STL
+			retry()
+		default:
+			if l1.sys.Tracer.Enabled(trace.CatHTMLock) {
+				l1.sys.Tracer.Emit(l1.core, trace.CatHTMLock, 0, "switchingMode denied")
+			}
+			l1.abortTx(htm.CauseOverflow)
+		}
+		for _, b := range blocked {
+			l1.Receive(b)
+		}
+	}
+	l1.send(&Msg{Type: MsgHLApply, Dst: l1.sys.ArbiterTile, Requester: l1.core, ReqMode: htm.STL})
+}
+
+// HLBegin enters HTMLock (TL) mode: the caller already holds the fallback
+// lock; the LLC arbiter is consulted so a live STL transaction is waited
+// out (paper §III-C). done runs once authorization is held.
+func (l1 *L1) HLBegin(done func()) {
+	if l1.sys.Arbiter == nil {
+		panic("coherence: HLBegin without HTMLock")
+	}
+	if l1.applyCont != nil {
+		panic("coherence: HLBegin while an application is outstanding")
+	}
+	l1.applyCont = func(granted bool) {
+		if !granted {
+			panic("coherence: TL application denied")
+		}
+		done()
+	}
+	l1.send(&Msg{Type: MsgHLApply, Dst: l1.sys.ArbiterTile, Requester: l1.core, ReqMode: htm.TL})
+}
+
+// HLEnd leaves HTMLock mode (hlend): transactional metadata is cleared
+// with written lines kept (a lock transaction is irrevocable, its stores
+// are real), the LLC signatures are cleared, and signature-rejected cores
+// are woken by the arbiter.
+func (l1 *L1) HLEnd() {
+	if !l1.Tx.Mode.Lock() {
+		panic(fmt.Sprintf("coherence: HLEnd in mode %v", l1.Tx.Mode))
+	}
+	if l1.sys.Tracer.Enabled(trace.CatHTMLock) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatHTMLock, 0, "hlend from %v reads=%d writes=%d",
+			l1.Tx.Mode, l1.Tx.ReadLines, l1.Tx.WriteLines)
+	}
+	l1.arr.ClearTx(false)
+	l1.midClearTx(false)
+	l1.Tx.Mode = htm.NonTx
+	l1.sendWakes()
+	l1.send(&Msg{Type: MsgHLRelease, Dst: l1.sys.ArbiterTile, Requester: l1.core})
+	l1.sys.Engine.Progress()
+}

@@ -1,0 +1,166 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// This file implements the private middle cache of the MESI-Three-Level-HTM
+// protocol — the ARM-team gem5 baseline the paper started from and replaced
+// (§IV-A): "this protocol ... adds a private intermediate-level cache to
+// simplify transactional data maintenance in the L1 cache. It introduces
+// some odd designs, such as invalidating data from the L1 cache by flushing
+// it to the middle cache even when the other cores try to load data."
+//
+// With Params.MidSize > 0 each tile gains a private, L1-exclusive middle
+// cache:
+//
+//   - L1 misses probe the middle cache before the directory (MidHit cost);
+//   - L1 evictions demote into the middle cache instead of writing back;
+//   - transactional L1 overflows demote into the middle cache (its whole
+//     capacity bounds the read/write sets — the "simplified transactional
+//     data maintenance");
+//   - external forwards that hit the L1 first flush the line to the middle
+//     cache — even plain loads — paying MidHit before responding and losing
+//     the L1 copy (the odd design the paper removed).
+//
+// The directory is oblivious: the L1+middle pair is one coherence node.
+
+// midEnabled reports whether this L1 has a middle cache.
+func (l1 *L1) midEnabled() bool { return l1.mid != nil }
+
+// midLookup returns the middle-cache entry for the line, or nil.
+func (l1 *L1) midLookup(line mem.Line) *cache.Entry {
+	if l1.mid == nil {
+		return nil
+	}
+	return l1.mid.Lookup(line)
+}
+
+// promoteFromMid moves a middle-cache hit into the L1 (the reverse fill),
+// then completes the access. Transactional metadata survives the move.
+func (l1 *L1) promoteFromMid(me *cache.Entry, write bool, gdone func()) {
+	line, st, dirty := me.Line, me.State, me.Dirty
+	txR, txW := me.TxRead, me.TxWrite
+	if write && st == cache.Shared {
+		// Needs an upgrade: leave it in the middle cache and run the
+		// ordinary upgrade path from there; the line logically moves to L1
+		// as StoM.
+		me.State = cache.Invalid
+		me.TxRead, me.TxWrite = false, false
+		v := l1.l1VictimOrDemote(line, write, gdone)
+		if v == nil {
+			return // overflow path took over (or aborted)
+		}
+		l1.arr.Install(v, line, cache.StoM)
+		e := l1.arr.Peek(line)
+		e.TxRead = txR
+		e.TxWrite = txW
+		l1.issue(line, true, gdone)
+		return
+	}
+	me.State = cache.Invalid
+	me.Dirty = false
+	me.TxRead, me.TxWrite = false, false
+	v := l1.l1VictimOrDemote(line, write, gdone)
+	if v == nil {
+		return
+	}
+	l1.arr.Install(v, line, st)
+	e := l1.arr.Peek(line)
+	e.Dirty = dirty
+	e.TxRead = txR
+	e.TxWrite = txW
+	l1.hit(e, write, gdone)
+}
+
+// l1VictimOrDemote finds an L1 way for a new line, demoting the victim to
+// the middle cache. Returns nil if the access was diverted to the overflow
+// machinery (every L1 way transactional AND the middle-cache set full of
+// transactional lines).
+func (l1 *L1) l1VictimOrDemote(line mem.Line, write bool, gdone func()) *cache.Entry {
+	avoidTx := func(e *cache.Entry) bool { return e.Tx() }
+	v := l1.arr.Victim(line, avoidTx)
+	if v == nil {
+		// All ways transactional: in the three-level design, demote a
+		// transactional line into the middle cache instead of aborting.
+		v = l1.arr.AnyVictim(line)
+		if v == nil {
+			panic(fmt.Sprintf("coherence: L1 %d set wedged for line %d", l1.core, line))
+		}
+		if !l1.demoteToMid(v) {
+			// The middle cache is itself full of transactional data:
+			// genuine capacity overflow.
+			l1.overflow(line, write, gdone)
+			return nil
+		}
+		return v
+	}
+	if v.State.Valid() {
+		if !l1.demoteToMid(v) {
+			// Non-tx victims always demote (mid victim selection evicts
+			// non-tx mid lines first); reaching here means the mid set is
+			// full of tx lines and the victim is non-tx: evict the victim
+			// to the directory instead.
+			l1.evictLine(v)
+		}
+	}
+	return v
+}
+
+// demoteToMid installs an L1 victim into the middle cache, evicting a
+// middle-cache victim to the directory if needed. Returns false when the
+// line cannot be placed (middle set full of transactional lines) — for a
+// transactional victim that means capacity overflow. Lock transactions
+// (TL/STL) never overflow: they spill a transactional middle-cache line
+// into the LLC signatures to make room.
+func (l1 *L1) demoteToMid(v *cache.Entry) bool {
+	avoidTx := func(e *cache.Entry) bool { return e.Tx() }
+	mv := l1.mid.Victim(v.Line, avoidTx)
+	if mv == nil {
+		if !l1.Tx.Mode.Lock() {
+			return false
+		}
+		mv = l1.mid.AnyVictim(v.Line)
+		if mv == nil {
+			panic(fmt.Sprintf("coherence: L1 %d middle set wedged for line %d", l1.core, v.Line))
+		}
+		l1.spillToSignature(mv)
+	}
+	if mv.State.Valid() {
+		l1.evictLine(mv) // middle-cache eviction goes to the directory
+	}
+	l1.mid.Install(mv, v.Line, v.State)
+	me := l1.mid.Peek(v.Line)
+	me.Dirty = v.Dirty
+	me.TxRead = v.TxRead
+	me.TxWrite = v.TxWrite
+	v.State = cache.Invalid
+	v.Dirty = false
+	v.TxRead = false
+	v.TxWrite = false
+	return true
+}
+
+// midFlushForForward implements the odd design: an external forward that
+// hits the L1 flushes the line to the middle cache first (even for loads),
+// invalidating the L1 copy. Returns the middle-cache entry to respond
+// from, or nil if the flush could not place the line (respond from the L1
+// entry directly as a graceful fallback).
+func (l1 *L1) midFlushForForward(e *cache.Entry) *cache.Entry {
+	if !l1.demoteToMid(e) {
+		return nil
+	}
+	return l1.mid.Peek(e.Line)
+}
+
+// midClearTx clears transactional metadata in the middle cache
+// (invalidating speculative writes when aborting).
+func (l1 *L1) midClearTx(invalidateWrites bool) {
+	if l1.mid == nil {
+		return
+	}
+	l1.mid.ClearTx(invalidateWrites)
+}

@@ -1,0 +1,143 @@
+// Package coherence implements the two-level MESI directory protocol of the
+// modeled CMP, extended with the LockillerTM mechanisms: NACK responses
+// (paper Fig. 3), priority-carrying requests and selective rejection of
+// toxic requests (recovery mechanism, Fig. 2 and 4), wake-up messages, the
+// HTMLock overflow-signature checks at the LLC (Fig. 5), and the
+// applyingHLA flow of the switchingMode mechanism (Fig. 6).
+//
+// The protocol is directory-mediated (owner responses travel through the
+// home LLC bank, which forwards data to the requester). That matches the
+// paper's Fig. 2 topology, where L1 caches communicate through the
+// subordinate directory, which tracks per-request response state and sends
+// the final (possibly reject-carrying) response to the original requester.
+// The directory blocks a line from request receipt until the requester's
+// unblock message, exactly the transient-to-stable flow of Fig. 3.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/noc"
+)
+
+// MsgType enumerates every protocol message.
+type MsgType uint8
+
+const (
+	// Requests: L1 -> home directory bank.
+	MsgGetS MsgType = iota // read miss
+	MsgGetM                // write miss or upgrade
+	MsgPutM                // eviction of a Modified line (carries data)
+	MsgPutE                // eviction of a clean Exclusive line
+	MsgTxWB                // pre-transactional writeback of a dirty line
+	// before its TxWrite bit is set (carries data)
+
+	// Forwards: directory -> current owner or sharers.
+	MsgFwdGetS // another core wants a shared copy
+	MsgFwdGetM // another core wants an exclusive copy
+	MsgInv     // invalidate (GetM to a Shared line, or LLC back-invalidation)
+
+	// Owner/sharer responses: L1 -> directory.
+	MsgOwnerData // owner supplies data and downgrades (S) or invalidates (M grant)
+	MsgNack      // owner no longer holds the line: it invalidated itself
+	// (transaction abort or eviction race); serve from LLC
+	MsgRejectFwd // owner holds the line transactionally and wins arbitration:
+	// the forwarded request is toxic and is withdrawn
+	MsgInvAck    // sharer invalidated (possibly aborting its transaction)
+	MsgInvReject // sharer keeps its copy: it wins arbitration
+
+	// Final responses: directory -> requester.
+	MsgDataS  // shared data grant
+	MsgDataE  // exclusive data grant (E for reads, M for writes)
+	MsgReject // request withdrawn (recovery mechanism / signature hit)
+
+	// Completion: requester -> directory.
+	MsgUnblock // requester reached a stable state; directory may proceed
+
+	// HTM specials.
+	MsgWakeUp    // rejecting L1 (or LLC) -> parked requester: retry now
+	MsgHLApply   // L1 -> arbiter bank: request STL or TL authorization
+	MsgHLGrant   // arbiter bank -> L1: authorization granted
+	MsgHLDeny    // arbiter bank -> L1: STL application denied
+	MsgHLRelease // L1 -> arbiter bank: hlend, release authorization
+	MsgSigAdd    // L1 -> arbiter bank: overflowed line added to a signature
+)
+
+// carriesData reports whether the message is a multi-flit data message.
+func (t MsgType) carriesData() bool {
+	switch t {
+	case MsgPutM, MsgTxWB, MsgOwnerData, MsgDataS, MsgDataE:
+		return true
+	}
+	return false
+}
+
+// Flits returns the message size in flits (Table I: 5 flits data, 1 control).
+func (t MsgType) Flits() int {
+	if t.carriesData() {
+		return noc.DataFlits
+	}
+	return noc.ControlFlits
+}
+
+func (t MsgType) String() string {
+	names := [...]string{
+		"GetS", "GetM", "PutM", "PutE", "TxWB",
+		"FwdGetS", "FwdGetM", "Inv",
+		"OwnerData", "Nack", "RejectFwd", "InvAck", "InvReject",
+		"DataS", "DataE", "Reject",
+		"Unblock",
+		"WakeUp", "HLApply", "HLGrant", "HLDeny", "HLRelease", "SigAdd",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Msg is a protocol message in flight.
+type Msg struct {
+	Type MsgType
+	Line mem.Line
+	// Src and Dst are tile numbers. Core i's L1 and LLC bank i share tile i.
+	Src, Dst int
+	// Requester is the original requesting core for forwards and for
+	// responses that close out a forwarded request.
+	Requester int
+	// Prio is the requester's transaction priority at send time — the
+	// user-defined data the recovery mechanism piggybacks on requests
+	// (ARUSER field in the paper's ACE mapping).
+	Prio uint64
+	// ReqMode is the requester's execution mode, used to classify the
+	// abort cause at a defeated owner (mc / lock / mutex / non_tran).
+	ReqMode htm.Mode
+	// Write distinguishes FwdGetM from FwdGetS at the owner and GetM
+	// retries, and marks SigAdd as a write-set overflow.
+	Write bool
+	// RejectorMode tells a rejected requester what kind of transaction
+	// defeated it (shapes its own abort cause under SelfAbort).
+	RejectorMode htm.Mode
+	// Excl reports, on MsgUnblock, that the requester settled in an
+	// exclusive state (E/M) rather than S, and on MsgSigAdd whether the
+	// line was in the read set (Write==false) or write set (Write==true).
+	Excl bool
+}
+
+// CauseFor maps the mode of a winning requester (or rejector) to the abort
+// cause recorded by the defeated transaction — the paper's Fig. 10
+// taxonomy. The lock-line special case (CauseMutex) is handled by the
+// caller, which knows the fallback lock's address.
+func CauseFor(winner htm.Mode) htm.AbortCause {
+	switch winner {
+	case htm.HTM:
+		return htm.CauseMC
+	case htm.TL, htm.STL:
+		return htm.CauseLock
+	case htm.Mutex:
+		return htm.CauseMutex
+	default:
+		return htm.CauseNonTx
+	}
+}

@@ -1,0 +1,135 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Params are the machine parameters of Table I. Sizes are per-structure
+// totals in bytes; the LLC is split evenly across one bank per tile.
+type Params struct {
+	Cores          int
+	MeshW, MeshH   int
+	L1Size, L1Ways int
+	LLCSize        int
+	LLCWays        int
+	// MidSize/MidWays, when non-zero, add a private middle cache per tile
+	// and switch the node to the MESI-Three-Level-HTM organization the
+	// paper replaced (see midcache.go).
+	MidSize, MidWays int
+	L1Hit            uint64 // L1 hit latency (cycles)
+	MidHit           uint64 // middle-cache access latency (three-level only)
+	LLCHit           uint64 // LLC data access latency
+	DirLatency       uint64 // directory decision latency for control replies
+	MemLatency       uint64 // main memory access latency
+	NoC              noc.Config
+}
+
+// DefaultParams mirrors Table I: 32 in-order cores on a 4x8 mesh, 32KB
+// 4-way L1s, 8MB 16-way shared LLC, 100-cycle memory.
+func DefaultParams() Params {
+	return Params{
+		Cores: 32, MeshW: 4, MeshH: 8,
+		L1Size: 32 * 1024, L1Ways: 4,
+		LLCSize: 8 * 1024 * 1024, LLCWays: 16,
+		L1Hit: 2, MidHit: 6, LLCHit: 12, DirLatency: 2, MemLatency: 100,
+		NoC: noc.DefaultConfig(),
+	}
+}
+
+// Validate panics on inconsistent parameters.
+func (p Params) Validate() {
+	if p.Cores <= 0 || p.Cores > 64 {
+		panic(fmt.Sprintf("coherence: unsupported core count %d", p.Cores))
+	}
+	if p.MeshW*p.MeshH != p.Cores {
+		panic(fmt.Sprintf("coherence: mesh %dx%d does not match %d cores",
+			p.MeshW, p.MeshH, p.Cores))
+	}
+	if p.LLCSize%(p.Cores) != 0 {
+		panic("coherence: LLC size must divide evenly across banks")
+	}
+}
+
+// System is the assembled memory subsystem: one L1 and one LLC bank per
+// tile, connected by the mesh, plus the HTMLock arbiter when enabled.
+type System struct {
+	Params
+	HTM     htm.Config
+	Engine  *sim.Engine
+	Net     *noc.Network
+	L1s     []*L1
+	Banks   []*Bank
+	Arbiter *htm.Arbiter
+	// Tracer, when non-nil, records protocol events (see internal/trace).
+	Tracer *trace.Tracer
+	// ArbiterTile hosts the centralized HTMLock arbiter.
+	ArbiterTile int
+	// LockLine is the fallback lock's cache line, used to classify
+	// subscription aborts as mutex-caused.
+	LockLine mem.Line
+}
+
+// NewSystem builds the memory subsystem for the given machine and HTM
+// configuration.
+func NewSystem(engine *sim.Engine, p Params, hc htm.Config) *System {
+	p.Validate()
+	hc = hc.Defaults()
+	hc.Validate()
+	mesh := topology.NewMesh(p.MeshW, p.MeshH)
+	sys := &System{
+		Params:   p,
+		HTM:      hc,
+		Engine:   engine,
+		Net:      noc.New(engine, mesh, p.NoC),
+		LockLine: mem.Line(0),
+	}
+	if hc.HTMLock {
+		sys.Arbiter = htm.NewArbiter(hc.SignatureBits)
+		sys.Arbiter.SendWake = func(core int) {
+			sys.route(&Msg{Type: MsgWakeUp, Src: sys.ArbiterTile, Dst: core})
+		}
+	}
+	bankSize := p.LLCSize / p.Cores
+	for i := 0; i < p.Cores; i++ {
+		sys.Banks = append(sys.Banks, newBank(sys, i, bankSize, p.LLCWays))
+	}
+	for i := 0; i < p.Cores; i++ {
+		sys.L1s = append(sys.L1s, newL1(sys, i))
+	}
+	return sys
+}
+
+// HomeBank returns the bank id a line maps to under line interleaving.
+func (s *System) HomeBank(l mem.Line) int { return l.Bank(s.Cores) }
+
+// route delivers a message over the NoC. Requests, forwards, data, and
+// responses are addressed by tile; whether the L1 or the bank consumes the
+// message is determined by its type.
+func (s *System) route(m *Msg) {
+	dst := m.Dst
+	s.Net.Send(m.Src, dst, m.Type.Flits(), func() {
+		if m.toBank() {
+			s.Banks[dst].Receive(m)
+		} else {
+			s.L1s[dst].Receive(m)
+		}
+	})
+}
+
+// toBank reports whether the message type is consumed by a directory bank.
+func (m *Msg) toBank() bool {
+	switch m.Type {
+	case MsgGetS, MsgGetM, MsgPutM, MsgPutE, MsgTxWB,
+		MsgOwnerData, MsgNack, MsgRejectFwd, MsgInvAck, MsgInvReject,
+		MsgUnblock, MsgHLApply, MsgHLRelease, MsgSigAdd:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+// Package core is the top-level public API of the LockillerTM library: it
+// assembles the paper's three mechanisms (recovery, HTMLock, switchingMode)
+// over the simulated 32-core CMP and runs transactional workloads on them.
+//
+// The typical flow is:
+//
+//	cfg := core.LockillerTM()                   // or core.Baseline(), core.CGL(), ...
+//	programs := stamp.Programs(stamp.Intruder(), 8, 1)
+//	result, err := core.Run(cfg, 8, programs)
+//
+// Custom workloads are ordinary cpu.Programs built from cpu.Read/Write/
+// Compute/Fault ops and Atomic/Plain/Barrier sections; custom machines are
+// configured through Config's fields. Every run is deterministic in
+// (config, programs, seed).
+package core
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/priority"
+	"repro/internal/stats"
+)
+
+// Config selects a synchronization system and a machine.
+type Config struct {
+	// Name labels the configuration in results.
+	Name string
+	// Sync selects lock-based (CGL) or HTM-based execution.
+	Sync cpu.SyncSystem
+	// HTM enables the LockillerTM mechanisms (ignored for CGL).
+	HTM htm.Config
+	// Machine is the simulated hardware (Table I defaults).
+	Machine coherence.Params
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Limit bounds the simulation in cycles (0 = default 4G).
+	Limit uint64
+}
+
+// DefaultMachine returns the Table I machine.
+func DefaultMachine() coherence.Params { return coherence.DefaultParams() }
+
+// CGL is the coarse-grained-locking baseline.
+func CGL() Config {
+	return Config{Name: "CGL", Sync: cpu.SysCGL, HTM: htm.Config{}.Defaults(), Machine: DefaultMachine()}
+}
+
+// Baseline is requester-win best-effort HTM.
+func Baseline() Config {
+	return Config{Name: "Baseline", Sync: cpu.SysHTM, HTM: htm.Config{}.Defaults(), Machine: DefaultMachine()}
+}
+
+// Recovery is Baseline plus the recovery mechanism with the given reject
+// policy and insts-based priority (the -RAI/-RRI/-RWI systems).
+func Recovery(policy htm.RejectPolicy) Config {
+	return Config{
+		Name: "Recovery+" + policy.String(), Sync: cpu.SysHTM,
+		HTM: htm.Config{
+			Recovery: true, RejectPolicy: policy, Priority: priority.InstsBased{},
+		}.Defaults(),
+		Machine: DefaultMachine(),
+	}
+}
+
+// HTMLock is Recovery(WaitWakeup) plus the HTMLock mechanism (-RWIL).
+func HTMLock() Config {
+	c := Recovery(htm.WaitWakeup)
+	c.Name = "HTMLock"
+	c.HTM.HTMLock = true
+	return c
+}
+
+// LockillerTM is the full system: recovery + insts-based priority +
+// HTMLock + switchingMode.
+func LockillerTM() Config {
+	c := HTMLock()
+	c.Name = "LockillerTM"
+	c.HTM.SwitchingMode = true
+	return c
+}
+
+// LosaTM approximates LosaTM-SAFU: NACK/wake-up conflict management with
+// progression-based priority (see DESIGN.md for the substitution notes).
+func LosaTM() Config {
+	return Config{
+		Name: "LosaTM-SAFU", Sync: cpu.SysHTM,
+		HTM: htm.Config{
+			Losa: true, RejectPolicy: htm.WaitWakeup, Priority: priority.Progression{},
+		}.Defaults(),
+		Machine: DefaultMachine(),
+	}
+}
+
+// Result is what a run produces.
+type Result = stats.Run
+
+// Run executes the per-thread programs under the configuration and returns
+// the collected statistics. len(programs) is the thread count; threads are
+// bound one-to-one to cores.
+func Run(cfg Config, programs []cpu.Program) (*Result, error) {
+	_, res, err := RunMachine(cfg, programs)
+	return res, err
+}
+
+// RunMachine is Run exposing the machine as well, for callers that need
+// post-run state beyond the statistics — e.g. the functional counter
+// values cpu.RMW operations maintain (atomicity verification).
+func RunMachine(cfg Config, programs []cpu.Program) (*cpu.Machine, *Result, error) {
+	limit := cfg.Limit
+	if limit == 0 {
+		limit = 4_000_000_000
+	}
+	mcfg := cpu.Config{
+		Machine: cfg.Machine,
+		HTM:     cfg.HTM,
+		Sync:    cfg.Sync,
+		Threads: len(programs),
+		Seed:    cfg.Seed,
+		Limit:   limit,
+	}
+	m := cpu.NewMachine(mcfg, cfg.Name, "custom", programs)
+	res, err := m.Run()
+	return m, res, err
+}
+
+// Speedup is a convenience: the ratio of reference cycles to subject
+// cycles (how much faster subject is).
+func Speedup(reference, subject *Result) float64 {
+	if subject.ExecCycles == 0 {
+		return 0
+	}
+	return float64(reference.ExecCycles) / float64(subject.ExecCycles)
+}

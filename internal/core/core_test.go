@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/stamp"
+)
+
+func small(c Config) Config {
+	c.Machine.Cores, c.Machine.MeshW, c.Machine.MeshH = 4, 2, 2
+	c.Machine.LLCSize = 1 << 20
+	c.Seed = 7
+	return c
+}
+
+func TestPresetsRunKmeans(t *testing.T) {
+	progs := stamp.Programs(stamp.Kmeans(), 4, 7)
+	for _, cfg := range []Config{
+		small(CGL()), small(Baseline()), small(Recovery(htm.SelfAbort)),
+		small(Recovery(htm.RetryLater)), small(Recovery(htm.WaitWakeup)),
+		small(HTMLock()), small(LockillerTM()), small(LosaTM()),
+	} {
+		res, err := Run(cfg, progs)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.Sections() == 0 || res.ExecCycles == 0 {
+			t.Fatalf("%s: empty result", cfg.Name)
+		}
+	}
+}
+
+func TestSectionConservation(t *testing.T) {
+	// Every system must complete exactly the same atomic sections.
+	progs := stamp.Programs(stamp.Intruder(), 4, 9)
+	var want uint64
+	for _, p := range progs {
+		want += uint64(p.CountAtomic())
+	}
+	for _, cfg := range []Config{small(CGL()), small(Baseline()), small(LockillerTM())} {
+		res, err := Run(cfg, progs)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.Sections() != want {
+			t.Fatalf("%s completed %d sections, want %d", cfg.Name, res.Sections(), want)
+		}
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := &Result{ExecCycles: 200}
+	b := &Result{ExecCycles: 100}
+	if Speedup(a, b) != 2.0 {
+		t.Fatal("speedup wrong")
+	}
+	if Speedup(a, &Result{}) != 0 {
+		t.Fatal("zero-cycle subject must not divide by zero")
+	}
+}
+
+func TestCustomWorkloadAPI(t *testing.T) {
+	// The quickstart shape: a custom program through the public API.
+	prog := cpu.Program{
+		cpu.AtomicStatic([]cpu.Op{cpu.Read(9000), cpu.Compute(10), cpu.Write(9000)}),
+		cpu.Plain([]cpu.Op{cpu.Compute(50)}),
+	}
+	res, err := Run(small(LockillerTM()), []cpu.Program{prog, prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sections() != 2 {
+		t.Fatalf("sections = %d", res.Sections())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	progs := stamp.Programs(stamp.VacationHigh(), 4, 3)
+	r1, err := Run(small(LockillerTM()), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(small(LockillerTM()), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecCycles != r2.ExecCycles || r1.CommitRate() != r2.CommitRate() {
+		t.Fatal("identical configs diverged")
+	}
+}

@@ -1,0 +1,393 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Core is one hardware thread: an in-order, single-issue core bound to one
+// L1 cache, executing its thread program section by section. It implements
+// coherence.Client so the L1 can notify it of asynchronous aborts.
+type Core struct {
+	m    *Machine
+	id   int
+	prog Program
+	st   *stats.Core
+	rng  *sim.RNG
+
+	secIdx  int
+	retries int
+	// token invalidates in-flight compute continuations across aborts
+	// (L1-side callbacks are epoch-guarded by the L1 itself).
+	token uint64
+	// staged holds this attempt's speculative functional counter updates,
+	// applied when the section completes and discarded on abort.
+	staged map[memLine]uint64
+}
+
+type memLine = mem.Line
+
+func newCore(m *Machine, id int, prog Program, st *stats.Core, rng *sim.RNG) *Core {
+	c := &Core{m: m, id: id, prog: prog, st: st, rng: rng}
+	m.Sys.L1s[id].SetClient(c)
+	return c
+}
+
+func (c *Core) engine() *sim.Engine { return c.m.Engine }
+func (c *Core) now() uint64         { return c.m.Engine.Now() }
+func (c *Core) tx() *htm.TxState    { return c.m.Sys.L1s[c.id].Tx }
+
+// start begins executing the program.
+func (c *Core) start() {
+	c.st.StartSegment(stats.CatNonTx, c.now())
+	c.nextSection()
+}
+
+// nextSection dispatches the next program section.
+func (c *Core) nextSection() {
+	if c.secIdx >= len(c.prog) {
+		c.st.Finish(c.now())
+		c.m.coreDone()
+		return
+	}
+	sec := c.prog[c.secIdx]
+	switch {
+	case sec.Barrier:
+		c.st.StartSegment(stats.CatNonTx, c.now())
+		c.st.Barriers++
+		c.m.Barrier.Arrive(func() { c.advance() })
+	case sec.Atomic:
+		c.retries = 0
+		if c.m.Cfg.Sync == SysCGL {
+			c.runCGL(sec)
+		} else {
+			c.startAttempt(sec)
+		}
+	default:
+		c.st.StartSegment(stats.CatNonTx, c.now())
+		c.runOps(sec.Ops, 0, c.token, func() {
+			// A non-transactional RMW becomes visible at completion (it
+			// has no commit point to defer to).
+			c.applyStaged()
+			c.advance()
+		})
+	}
+}
+
+func (c *Core) advance() {
+	c.secIdx++
+	c.nextSection()
+}
+
+// runOps executes ops[i:] sequentially, honoring the current mode's
+// semantics, then calls done. tok guards continuations against aborts.
+func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
+	if tok != c.token {
+		return
+	}
+	if i >= len(ops) {
+		done()
+		return
+	}
+	op := ops[i]
+	next := func() {
+		if tok != c.token {
+			return
+		}
+		c.tx().InstsRetired++
+		c.runOps(ops, i+1, tok, done)
+	}
+	switch op.Kind {
+	case OpCompute:
+		c.tx().InstsRetired += op.N
+		c.engine().After(op.N, func() {
+			if tok == c.token {
+				c.runOps(ops, i+1, tok, done)
+			}
+		})
+	case OpRead:
+		c.m.Sys.L1s[c.id].Access(op.Line, false, next)
+	case OpWrite:
+		c.m.Sys.L1s[c.id].Access(op.Line, true, next)
+	case OpRMW:
+		// Functional atomic increment: load, stage new value, store. The
+		// staged value becomes visible only when the section commits.
+		c.m.Sys.L1s[c.id].Access(op.Line, false, func() {
+			if tok != c.token {
+				return
+			}
+			c.tx().InstsRetired++
+			v, ok := c.staged[op.Line]
+			if !ok {
+				v = c.m.counters[op.Line]
+			}
+			c.m.Sys.L1s[c.id].Access(op.Line, true, func() {
+				if tok != c.token {
+					return
+				}
+				if c.staged == nil {
+					c.staged = make(map[memLine]uint64)
+				}
+				c.staged[op.Line] = v + 1
+				c.tx().InstsRetired++
+				c.runOps(ops, i+1, tok, done)
+			})
+		})
+	case OpFault:
+		if c.tx().Mode == htm.HTM {
+			// Exceptions abort best-effort HTM transactions; the paper's
+			// switchingMode deliberately does not rescue them (§III-C).
+			c.m.Sys.L1s[c.id].AbortLocal(htm.CauseFault)
+			return
+		}
+		c.engine().After(c.m.Cfg.FaultPenalty, func() {
+			if tok == c.token {
+				c.runOps(ops, i+1, tok, done)
+			}
+		})
+	default:
+		panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
+	}
+}
+
+// --- CGL execution ---------------------------------------------------
+
+func (c *Core) runCGL(sec Section) {
+	c.st.StartSegment(stats.CatWaitLock, c.now())
+	c.acquire(c.m.Lock, func() {
+		c.st.StartSegment(stats.CatLock, c.now())
+		c.tx().Mode = htm.Mutex
+		body := sec.Body(1)
+		c.runOps(body, 0, c.token, func() {
+			c.tx().Mode = htm.NonTx
+			c.release(c.m.Lock, func() {
+				c.applyStaged()
+				c.st.LockRuns++
+				c.st.Sections++
+				c.engine().Progress()
+				c.st.StartSegment(stats.CatNonTx, c.now())
+				c.advance()
+			})
+		})
+	})
+}
+
+// --- HTM execution ---------------------------------------------------
+
+// startAttempt begins (or restarts) a speculative attempt of the section.
+func (c *Core) startAttempt(sec Section) {
+	if c.retries >= c.m.Cfg.HTM.MaxRetries {
+		c.fallback(sec)
+		return
+	}
+	if !c.m.Cfg.HTM.HTMLock && c.m.Lock.Held() {
+		// Listing 1's retry strategy: with the classic interface there is
+		// no point starting while the fallback lock is held — the
+		// subscription would abort us instantly. Spin until free.
+		c.st.StartSegment(stats.CatWaitLock, c.now())
+		c.spinWhileHeld(func() { c.startAttempt(sec) })
+		return
+	}
+	c.st.StartSegment(stats.CatHTM, c.now())
+	c.tx().BeginAttempt(htm.HTM, c.now())
+	c.st.Attempts++
+	if tr := c.m.Cfg.Tracer; tr.Enabled(trace.CatTx) {
+		tr.Emitf(c.id, trace.CatTx, 0, "xbegin section=%d attempt=%d", c.secIdx, c.tx().Attempt)
+	}
+	tok := c.token
+	body := func() {
+		ops := sec.Body(c.tx().Attempt)
+		c.runOps(ops, 0, tok, func() { c.finishAttempt(sec) })
+	}
+	if c.m.Cfg.HTM.HTMLock {
+		// HTMLock interface: no fallback-lock subscription (paper
+		// Listing 1's grey modification removes the lock read).
+		body()
+		return
+	}
+	// Classic interface: read the fallback lock into the read set; abort
+	// immediately if it is held.
+	c.m.Sys.L1s[c.id].Access(c.m.Lock.Line, false, func() {
+		if c.m.Lock.Held() {
+			c.m.Sys.L1s[c.id].AbortLocal(htm.CauseMutex)
+			return
+		}
+		body()
+	})
+}
+
+// finishAttempt commits the attempt in whatever mode it ended in: HTM
+// commit, or HTMLock-mode completion after a successful switch (STL).
+func (c *Core) finishAttempt(sec Section) {
+	switch c.tx().Mode {
+	case htm.HTM:
+		// The functional commit must coincide with the protection drop:
+		// CommitTx clears the read/write sets and wakes rejected
+		// requesters, so the staged values have to be visible first.
+		c.applyStaged()
+		c.m.Sys.L1s[c.id].CommitTx()
+		c.st.Commits++
+		c.st.CloseAs(stats.CatHTM, stats.CatNonTx, c.now())
+		c.sectionDone()
+	case htm.STL:
+		// The transaction switched to HTMLock mode mid-flight; hlend
+		// without releasing the fallback lock (Listing 2).
+		c.applyStaged()
+		c.m.Sys.L1s[c.id].HLEnd()
+		c.st.Commits++ // the attempt's work was saved, not wasted
+		c.st.SwitchRuns++
+		c.st.CloseAs(stats.CatSwitchLock, stats.CatNonTx, c.now())
+		c.sectionDone()
+	default:
+		panic(fmt.Sprintf("cpu: attempt finished in mode %v", c.tx().Mode))
+	}
+}
+
+func (c *Core) sectionDone() {
+	c.applyStaged()
+	c.tx().Reset()
+	c.st.Sections++
+	c.engine().Progress()
+	c.advance()
+}
+
+// applyStaged commits this section's functional counter updates.
+func (c *Core) applyStaged() {
+	for l, v := range c.staged {
+		c.m.counters[l] = v
+	}
+	c.staged = nil
+}
+
+// OnDoom implements coherence.Client: the L1 has flash-cleared the
+// transaction; schedule the architectural rollback and the retry.
+func (c *Core) OnDoom(cause htm.AbortCause) {
+	c.token++
+	c.staged = nil // discard speculative functional updates
+	c.st.Abort(cause)
+	c.st.CloseAs(stats.CatAborted, stats.CatRollback, c.now())
+	if cause != htm.CauseMutex {
+		// Lock-busy aborts do not consume the retry budget: the thread
+		// waits for the lock to free and tries again (Listing 1's retry
+		// strategy); all other causes bring the transaction one step
+		// closer to the fallback path.
+		c.retries++
+	}
+	sec := c.prog[c.secIdx]
+	delay := c.m.Cfg.HTM.RollbackPenalty + c.backoff()
+	c.engine().After(delay, func() { c.startAttempt(sec) })
+}
+
+// backoff returns the randomized exponential post-abort delay.
+func (c *Core) backoff() uint64 {
+	shift := c.retries
+	if shift > 6 {
+		shift = 6
+	}
+	base := c.m.Cfg.HTM.AbortBackoffBase << uint(shift)
+	return base/2 + c.rng.Uint64()%base
+}
+
+// fallback executes the section on the non-speculative path: a TL lock
+// transaction under HTMLock, a plain mutex section otherwise.
+func (c *Core) fallback(sec Section) {
+	if tr := c.m.Cfg.Tracer; tr.Enabled(trace.CatTx) {
+		tr.Emitf(c.id, trace.CatTx, 0, "fallback section=%d after %d retries", c.secIdx, c.retries)
+	}
+	c.st.StartSegment(stats.CatWaitLock, c.now())
+	c.acquire(c.m.Lock, func() {
+		if c.m.Cfg.HTM.HTMLock {
+			c.m.Sys.L1s[c.id].HLBegin(func() {
+				c.st.StartSegment(stats.CatLock, c.now())
+				c.tx().BeginAttempt(htm.TL, c.now())
+				body := sec.Body(c.tx().Attempt)
+				c.runOps(body, 0, c.token, func() {
+					// Staged updates become visible before hlend wakes the
+					// requesters this lock transaction rejected — otherwise
+					// a woken reader could see pre-transaction values while
+					// the lock-release access is still in flight.
+					c.applyStaged()
+					c.m.Sys.L1s[c.id].HLEnd()
+					c.release(c.m.Lock, func() {
+						c.st.LockRuns++
+						c.lockSectionDone()
+					})
+				})
+			})
+			return
+		}
+		c.st.StartSegment(stats.CatLock, c.now())
+		c.tx().Mode = htm.Mutex
+		body := sec.Body(1)
+		c.runOps(body, 0, c.token, func() {
+			c.tx().Mode = htm.NonTx
+			c.release(c.m.Lock, func() {
+				c.st.LockRuns++
+				c.lockSectionDone()
+			})
+		})
+	})
+}
+
+func (c *Core) lockSectionDone() {
+	c.applyStaged()
+	c.tx().Reset()
+	c.st.Sections++
+	c.engine().Progress()
+	c.st.StartSegment(stats.CatNonTx, c.now())
+	c.advance()
+}
+
+// --- lock primitives --------------------------------------------------
+
+// acquire takes a FIFO queued lock. The RMW is modeled by a real store to
+// the lock line; a contended caller parks (futex-style, no spin traffic)
+// and is handed the lock directly by the releasing core, paying one more
+// cache-to-cache transfer on the handover.
+func (c *Core) acquire(lk *SpinLock, done func()) {
+	if tr := c.m.Cfg.Tracer; tr.Enabled(trace.CatLock) {
+		tr.Emitf(c.id, trace.CatLock, lk.Line, "lock acquire (held=%v waiters=%d)", lk.Held(), lk.Waiters())
+	}
+	c.m.Sys.L1s[c.id].Access(lk.Line, true, func() {
+		granted := func() {
+			// Ownership handed over: take the lock line (transfer traffic).
+			c.m.Sys.L1s[c.id].Access(lk.Line, true, done)
+		}
+		if lk.acquireOrEnqueue(c.id, granted) {
+			done()
+		}
+	})
+}
+
+// release frees the lock with a real store, waking the next waiter.
+func (c *Core) release(lk *SpinLock, done func()) {
+	if tr := c.m.Cfg.Tracer; tr.Enabled(trace.CatLock) {
+		tr.Emitf(c.id, trace.CatLock, lk.Line, "lock release (waiters=%d)", lk.Waiters())
+	}
+	c.m.Sys.L1s[c.id].Access(lk.Line, true, func() {
+		if next := lk.release(c.id); next != nil {
+			c.engine().After(1, next)
+		}
+		done()
+	})
+}
+
+// spinWhileHeld re-reads the lock line until it is observed free.
+func (c *Core) spinWhileHeld(done func()) {
+	var spin func()
+	spin = func() {
+		c.m.Sys.L1s[c.id].Access(c.m.Lock.Line, false, func() {
+			if c.m.Lock.Held() {
+				c.engine().After(c.m.Cfg.SpinInterval, spin)
+				return
+			}
+			done()
+		})
+	}
+	spin()
+}

@@ -1,0 +1,223 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Placement selects how threads are bound to mesh tiles. The paper pins
+// thread i to core i (packed); spreading threads maximizes inter-thread
+// NoC distance but also spreads LLC-bank locality — an ablation knob.
+type Placement uint8
+
+const (
+	// PlacePacked binds thread i to core i (the paper's binding).
+	PlacePacked Placement = iota
+	// PlaceSpread distributes threads evenly across the mesh.
+	PlaceSpread
+)
+
+// mapThreads returns the core id for each thread under the placement.
+func mapThreads(p Placement, threads, cores int) []int {
+	out := make([]int, threads)
+	switch p {
+	case PlaceSpread:
+		stride := cores / threads
+		if stride < 1 {
+			stride = 1
+		}
+		for i := range out {
+			out[i] = (i * stride) % cores
+		}
+	default:
+		for i := range out {
+			out[i] = i
+		}
+	}
+	return out
+}
+
+// SyncSystem selects how atomic sections are executed.
+type SyncSystem uint8
+
+const (
+	// SysCGL executes every atomic section under one global lock with the
+	// same granularity as the transactions (Table II's CGL row).
+	SysCGL SyncSystem = iota
+	// SysHTM executes atomic sections as best-effort HTM transactions with
+	// the mechanisms enabled in the htm.Config (all other Table II rows).
+	SysHTM
+)
+
+// Config assembles a whole machine run.
+type Config struct {
+	Machine coherence.Params
+	HTM     htm.Config
+	Sync    SyncSystem
+	Threads int
+	Seed    uint64
+	// FaultPenalty is the non-speculative cost of an OpFault (an exception
+	// handled outside a transaction).
+	FaultPenalty uint64
+	// SpinInterval is the re-read period of the test-and-test-and-set
+	// lock spin loop.
+	SpinInterval uint64
+	// Limit bounds the simulation length in cycles (0 = unlimited).
+	Limit uint64
+	// Tracer, when non-nil, records simulation events (internal/trace).
+	Tracer *trace.Tracer
+	// Placement binds threads to mesh tiles (default: packed, per paper).
+	Placement Placement
+}
+
+// Defaults fills unset tuning knobs.
+func (c Config) Defaults() Config {
+	if c.FaultPenalty == 0 {
+		c.FaultPenalty = 300
+	}
+	if c.SpinInterval == 0 {
+		c.SpinInterval = 16
+	}
+	return c
+}
+
+// Machine is an assembled simulation: memory subsystem, cores, fallback
+// lock, and barrier.
+type Machine struct {
+	Cfg     Config
+	Engine  *sim.Engine
+	Sys     *coherence.System
+	Cores   []*Core
+	Lock    *SpinLock
+	Barrier *Barrier
+	Stats   *stats.Run
+
+	// counters holds the functional values OpRMW operations increment;
+	// values are staged per-attempt and applied at commit, so the final
+	// counts witness end-to-end atomicity.
+	counters map[mem.Line]uint64
+
+	running int
+}
+
+// NewMachine builds a machine executing the given per-thread programs.
+// len(programs) must equal cfg.Threads, and threads must not exceed the
+// machine's core count (the paper binds each thread to one core, no OS
+// scheduling).
+func NewMachine(cfg Config, label, workload string, programs []Program) *Machine {
+	cfg = cfg.Defaults()
+	if len(programs) != cfg.Threads {
+		panic(fmt.Sprintf("cpu: %d programs for %d threads", len(programs), cfg.Threads))
+	}
+	if cfg.Threads > cfg.Machine.Cores {
+		panic(fmt.Sprintf("cpu: %d threads exceed %d cores", cfg.Threads, cfg.Machine.Cores))
+	}
+	engine := sim.NewEngine()
+	sys := coherence.NewSystem(engine, cfg.Machine, cfg.HTM)
+	if cfg.Tracer != nil {
+		cfg.Tracer.Now = engine.Now
+		sys.Tracer = cfg.Tracer
+	}
+	m := &Machine{
+		Cfg:      cfg,
+		Engine:   engine,
+		Sys:      sys,
+		Lock:     NewSpinLock(sys.LockLine),
+		Barrier:  NewBarrier(engine, cfg.Threads),
+		Stats:    stats.NewRun(label, workload, cfg.Threads),
+		counters: make(map[mem.Line]uint64),
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	coreOf := mapThreads(cfg.Placement, cfg.Threads, cfg.Machine.Cores)
+	for i := 0; i < cfg.Threads; i++ {
+		c := newCore(m, coreOf[i], programs[i], m.Stats.Cores[i], rng.Split(uint64(i)))
+		m.Cores = append(m.Cores, c)
+	}
+	return m
+}
+
+// Run executes the machine to completion and returns the collected stats.
+func (m *Machine) Run() (*stats.Run, error) {
+	m.running = len(m.Cores)
+	for _, c := range m.Cores {
+		c := c
+		m.Engine.After(0, c.start)
+	}
+	err := m.Engine.Run(m.Cfg.Limit)
+	m.collectTraffic()
+	if err != nil {
+		return m.Stats, fmt.Errorf("cpu: %s/%s threads=%d: %w\n%s",
+			m.Stats.Workload, m.Stats.System, m.Cfg.Threads, err, m.DumpState())
+	}
+	if m.running != 0 {
+		return m.Stats, fmt.Errorf("cpu: %s/%s threads=%d: %d cores never finished (deadlock)\n%s",
+			m.Stats.Workload, m.Stats.System, m.Cfg.Threads, m.running, m.DumpState())
+	}
+	return m.Stats, nil
+}
+
+// collectTraffic gathers the memory-subsystem counters into the run stats.
+func (m *Machine) collectTraffic() {
+	t := &m.Stats.Traffic
+	t.Messages = m.Sys.Net.Messages
+	t.FlitHops = m.Sys.Net.FlitHops
+	t.QueueWait = m.Sys.Net.QueueWait
+	for _, l1 := range m.Sys.L1s {
+		t.L1Hits += l1.Hits
+		t.L1Misses += l1.Misses
+		t.TxWBs += l1.TxWBs
+		t.NacksSent += l1.NacksSent
+		t.RejectsSent += l1.RejectsSent
+		t.RejectsReceived += l1.RejectsReceived
+		t.WakesSent += l1.WakesSent
+		t.SignatureSpills += l1.OverflowEvictions
+		t.SwitchTries += l1.SwitchTries
+		t.SwitchGrants += l1.SwitchGrants
+	}
+	for _, b := range m.Sys.Banks {
+		t.DirRequests += b.Requests
+		t.LLCRejections += b.Rejections
+		t.MemFetches += b.MemFetches
+		t.BackInvals += b.BackInvals
+	}
+	t.LockAcquisitions = m.Lock.Acquisitions
+	t.LockHandovers = m.Lock.Handovers
+}
+
+// DumpState renders a diagnostic snapshot of every core — what each thread
+// was doing when the run ended. It is attached to watchdog and deadlock
+// errors so protocol hangs are debuggable from the failure message alone.
+func (m *Machine) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine state at cycle %d (%d/%d cores running):\n",
+		m.Engine.Now(), m.running, len(m.Cores))
+	for _, c := range m.Cores {
+		l1 := m.Sys.L1s[c.id]
+		fmt.Fprintf(&b, "  core %2d: section %d/%d mode=%v attempt=%d doomed=%v parked=%d\n",
+			c.id, c.secIdx, len(c.prog), l1.Tx.Mode, l1.Tx.Attempt, l1.Tx.Doomed, l1.ParkedRequests())
+	}
+	fmt.Fprintf(&b, "  lock: held=%v owner=%d waiters=%d\n", m.Lock.Held(), m.Lock.Owner(), m.Lock.Waiters())
+	if a := m.Sys.Arbiter; a != nil {
+		fmt.Fprintf(&b, "  arbiter: holder=%d mode=%v\n", a.Holder(), a.HolderMode())
+	}
+	return b.String()
+}
+
+// CounterValue returns the committed value of a functional counter.
+func (m *Machine) CounterValue(l mem.Line) uint64 { return m.counters[l] }
+
+// coreDone is called by each core when its program completes.
+func (m *Machine) coreDone() {
+	m.running--
+	if now := m.Engine.Now(); now > m.Stats.ExecCycles {
+		m.Stats.ExecCycles = now
+	}
+	m.Engine.Progress()
+}

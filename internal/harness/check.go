@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/htm"
+	"repro/internal/stamp"
+)
+
+// Claim is one qualitative statement from the paper that the reproduction
+// must uphold. Claims are checked on a reduced sweep so the whole suite
+// runs in minutes; EXPERIMENTS.md records the full-sweep numbers.
+type Claim struct {
+	ID   string
+	Text string
+	// Check runs the measurement and returns an explanation on failure.
+	Check func(r *Runner) (ok bool, detail string, err error)
+}
+
+// Claims returns the paper's checkable claims.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:   "fig1-motivation",
+			Text: "requester-win HTM loses to CGL on labyrinth at 2 threads (Fig. 1)",
+			Check: func(r *Runner) (bool, string, error) {
+				sp, err := r.Speedup(mustSystem("Baseline"), stamp.Labyrinth(), 2, TypicalCache())
+				if err != nil {
+					return false, "", err
+				}
+				return sp < 1.0, fmt.Sprintf("labyrinth baseline speedup = %.2fx", sp), nil
+			},
+		},
+		{
+			ID:   "fig7-lower-bound",
+			Text: "LockillerTM >= CGL on every checked workload and thread count (Fig. 7)",
+			Check: func(r *Runner) (bool, string, error) {
+				worst, at := 1e18, ""
+				for _, wl := range checkWorkloads() {
+					for _, t := range []int{2, 8, 32} {
+						sp, err := r.Speedup(mustSystem("LockillerTM"), wl, t, TypicalCache())
+						if err != nil {
+							return false, "", err
+						}
+						if sp < worst {
+							worst, at = sp, fmt.Sprintf("%s@%dT", wl.Name, t)
+						}
+					}
+				}
+				return worst >= 0.99, fmt.Sprintf("minimum speedup %.2fx at %s", worst, at), nil
+			},
+		},
+		{
+			ID:   "fig7-beats-baseline",
+			Text: "LockillerTM beats the requester-win baseline on contended workloads at scale (Fig. 7)",
+			Check: func(r *Runner) (bool, string, error) {
+				for _, wl := range []stamp.Profile{stamp.Intruder(), stamp.VacationHigh()} {
+					base, err := r.Speedup(mustSystem("Baseline"), wl, 32, TypicalCache())
+					if err != nil {
+						return false, "", err
+					}
+					lk, err := r.Speedup(mustSystem("LockillerTM"), wl, 32, TypicalCache())
+					if err != nil {
+						return false, "", err
+					}
+					if lk <= base {
+						return false, fmt.Sprintf("%s@32T: LockillerTM %.2fx <= Baseline %.2fx", wl.Name, lk, base), nil
+					}
+				}
+				return true, "LockillerTM > Baseline on intruder and vacation+ at 32T", nil
+			},
+		},
+		{
+			ID:   "fig8-commit-rate",
+			Text: "recovery + insts-based priority raises the commit rate (Fig. 8)",
+			Check: func(r *Runner) (bool, string, error) {
+				var base, rwi float64
+				for _, wl := range checkWorkloads() {
+					b, err := r.Get(Spec{System: mustSystem("Baseline"), Workload: wl, Threads: 32, Cache: TypicalCache()})
+					if err != nil {
+						return false, "", err
+					}
+					w, err := r.Get(Spec{System: mustSystem("LockillerTM-RWI"), Workload: wl, Threads: 32, Cache: TypicalCache()})
+					if err != nil {
+						return false, "", err
+					}
+					base += b.CommitRate()
+					rwi += w.CommitRate()
+				}
+				return rwi > base, fmt.Sprintf("avg commit rate %.3f -> %.3f at 32T", base/3, rwi/3), nil
+			},
+		},
+		{
+			ID:   "fig10-mutex-eliminated",
+			Text: "HTMLock eliminates mutex-caused aborts entirely (Fig. 10)",
+			Check: func(r *Runner) (bool, string, error) {
+				for _, wl := range checkWorkloads() {
+					for _, sys := range []string{"LockillerTM-RWIL", "LockillerTM"} {
+						run, err := r.Get(Spec{System: mustSystem(sys), Workload: wl, Threads: 2, Cache: TypicalCache()})
+						if err != nil {
+							return false, "", err
+						}
+						_, by := run.TotalAborts()
+						if by[htm.CauseMutex] != 0 {
+							return false, fmt.Sprintf("%s/%s has %d mutex aborts", sys, wl.Name, by[htm.CauseMutex]), nil
+						}
+					}
+				}
+				return true, "zero mutex aborts in all HTMLock systems", nil
+			},
+		},
+		{
+			ID:   "fig10-switching-capacity",
+			Text: "switchingMode sharply reduces capacity aborts at 2 threads (Fig. 10)",
+			Check: func(r *Runner) (bool, string, error) {
+				wl := stamp.Labyrinth()
+				rwil, err := r.Get(Spec{System: mustSystem("LockillerTM-RWIL"), Workload: wl, Threads: 2, Cache: TypicalCache()})
+				if err != nil {
+					return false, "", err
+				}
+				full, err := r.Get(Spec{System: mustSystem("LockillerTM"), Workload: wl, Threads: 2, Cache: TypicalCache()})
+				if err != nil {
+					return false, "", err
+				}
+				_, b1 := rwil.TotalAborts()
+				_, b2 := full.TotalAborts()
+				return b2[htm.CauseOverflow]*2 < b1[htm.CauseOverflow]+1,
+					fmt.Sprintf("labyrinth of-aborts %d -> %d", b1[htm.CauseOverflow], b2[htm.CauseOverflow]), nil
+			},
+		},
+		{
+			ID:   "fig12-ordering",
+			Text: "LockillerTM > LosaTM-SAFU > nothing special; full stack beats baseline on average (Fig. 12)",
+			Check: func(r *Runner) (bool, string, error) {
+				avg := func(name string) (float64, error) {
+					var s float64
+					for _, wl := range checkWorkloads() {
+						for _, t := range []int{2, 8, 32} {
+							sp, err := r.Speedup(mustSystem(name), wl, t, TypicalCache())
+							if err != nil {
+								return 0, err
+							}
+							s += sp
+						}
+					}
+					return s / 9, nil
+				}
+				base, err := avg("Baseline")
+				if err != nil {
+					return false, "", err
+				}
+				losa, err := avg("LosaTM-SAFU")
+				if err != nil {
+					return false, "", err
+				}
+				lk, err := avg("LockillerTM")
+				if err != nil {
+					return false, "", err
+				}
+				return lk > losa && lk > base,
+					fmt.Sprintf("avg: Baseline %.2fx, LosaTM %.2fx, LockillerTM %.2fx", base, losa, lk), nil
+			},
+		},
+		{
+			ID: "fig13-small-cache",
+			Text: "in the 8KB-L1 config LockillerTM still beats both CGL and the " +
+				"requester-win baseline on average (Fig. 13)",
+			Check: func(r *Runner) (bool, string, error) {
+				var lkSum, baseSum float64
+				n := 0
+				for _, wl := range checkWorkloads() {
+					for _, t := range []int{2, 32} {
+						b, err := r.Speedup(mustSystem("Baseline"), wl, t, SmallCache())
+						if err != nil {
+							return false, "", err
+						}
+						l, err := r.Speedup(mustSystem("LockillerTM"), wl, t, SmallCache())
+						if err != nil {
+							return false, "", err
+						}
+						baseSum += b
+						lkSum += l
+						n++
+					}
+				}
+				lkAvg, baseAvg := lkSum/float64(n), baseSum/float64(n)
+				return lkAvg > 1.0 && lkAvg > baseAvg,
+					fmt.Sprintf("small-cache averages: Baseline %.2fx, LockillerTM %.2fx vs CGL", baseAvg, lkAvg), nil
+			},
+		},
+	}
+}
+
+func checkWorkloads() []stamp.Profile {
+	return []stamp.Profile{stamp.Intruder(), stamp.VacationHigh(), stamp.Labyrinth()}
+}
+
+// RunChecks evaluates every claim, rendering a report; it returns the
+// number of failed claims.
+func RunChecks(r *Runner, w io.Writer) (failed int, err error) {
+	for _, c := range Claims() {
+		ok, detail, err := c.Check(r)
+		if err != nil {
+			return failed + 1, fmt.Errorf("claim %s: %w", c.ID, err)
+		}
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%-4s %-24s %s\n     %s\n", status, c.ID, c.Text, detail)
+	}
+	return failed, nil
+}

@@ -1,0 +1,19 @@
+package harness
+
+import "testing"
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Text == "" || c.Check == nil {
+			t.Fatalf("malformed claim %+v", c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate claim id %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d claims; every evaluated figure needs one", len(seen))
+	}
+}

@@ -1,0 +1,247 @@
+// Package harness assembles and runs the paper's evaluation: the Table II
+// system matrix, the Table I machine configurations (plus the small/large
+// cache variants of Fig. 13), and one runner per figure. Simulations are
+// independent, so the runner fans them out across OS threads.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/htm"
+	"repro/internal/priority"
+	"repro/internal/stamp"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ThreadCounts are the five evaluated thread counts.
+var ThreadCounts = []int{2, 4, 8, 16, 32}
+
+// SystemDef is one row of Table II.
+type SystemDef struct {
+	Name string
+	Desc string
+	Sync cpu.SyncSystem
+	HTM  htm.Config
+}
+
+// Systems returns the full Table II matrix, in the paper's order.
+func Systems() []SystemDef {
+	ins := priority.InstsBased{}
+	return []SystemDef{
+		{Name: "CGL", Desc: "Coarse-grained locking with the same granularity of transactions",
+			Sync: cpu.SysCGL, HTM: htm.Config{}.Defaults()},
+		{Name: "Baseline", Desc: "Best-Effort HTM with requester-win",
+			Sync: cpu.SysHTM, HTM: htm.Config{}.Defaults()},
+		{Name: "LosaTM-SAFU", Desc: "LosaTM without False Sharing and Capacity Overflow OPT",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Losa: true, RejectPolicy: htm.WaitWakeup, Priority: priority.Progression{},
+			}.Defaults()},
+		{Name: "LockillerTM-RAI", Desc: "Baseline + Recovery + SelfAbort + InstsBasedPriority",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Recovery: true, RejectPolicy: htm.SelfAbort, Priority: ins,
+			}.Defaults()},
+		{Name: "LockillerTM-RRI", Desc: "Baseline + Recovery + SelfRetryLater + InstsBasedPriority",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Recovery: true, RejectPolicy: htm.RetryLater, Priority: ins,
+			}.Defaults()},
+		{Name: "LockillerTM-RWI", Desc: "Baseline + Recovery + WaitWakeup + InstsBasedPriority",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Recovery: true, RejectPolicy: htm.WaitWakeup, Priority: ins,
+			}.Defaults()},
+		{Name: "LockillerTM-RWL", Desc: "Baseline + Recovery + WaitWakeup + HTMLock",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Recovery: true, RejectPolicy: htm.WaitWakeup, HTMLock: true,
+			}.Defaults()},
+		{Name: "LockillerTM-RWIL", Desc: "LockillerTM-RWI + HTMLock",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Recovery: true, RejectPolicy: htm.WaitWakeup, Priority: ins, HTMLock: true,
+			}.Defaults()},
+		{Name: "LockillerTM", Desc: "LockillerTM-RWI + HTMLock + SwitchingMode",
+			Sync: cpu.SysHTM, HTM: htm.Config{
+				Recovery: true, RejectPolicy: htm.WaitWakeup, Priority: ins,
+				HTMLock: true, SwitchingMode: true,
+			}.Defaults()},
+	}
+}
+
+// SystemByName returns a Table II row.
+func SystemByName(name string) (SystemDef, error) {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return SystemDef{}, fmt.Errorf("harness: unknown system %q", name)
+}
+
+// CacheConfig names one of the three evaluated cache configurations.
+type CacheConfig struct {
+	Name    string
+	L1Size  int
+	LLCSize int
+}
+
+// The three configurations of §IV: typical (Table I), and the small/large
+// sensitivity points of Fig. 13.
+func TypicalCache() CacheConfig { return CacheConfig{"typical", 32 * 1024, 8 << 20} }
+func SmallCache() CacheConfig   { return CacheConfig{"small", 8 * 1024, 1 << 20} }
+func LargeCache() CacheConfig   { return CacheConfig{"large", 128 * 1024, 32 << 20} }
+
+// Spec identifies one simulation.
+type Spec struct {
+	System   SystemDef
+	Workload stamp.Profile
+	Threads  int
+	Cache    CacheConfig
+	Seed     uint64
+}
+
+func (s Spec) key() string {
+	return fmt.Sprintf("%s|%s|%d|%s|%d", s.System.Name, s.Workload.Name, s.Threads, s.Cache.Name, s.Seed)
+}
+
+// Execute runs one simulation to completion.
+func Execute(s Spec) (*stats.Run, error) { return ExecuteTraced(s, nil) }
+
+// ExecuteTraced is Execute with an optional event tracer attached.
+func ExecuteTraced(s Spec, tracer *trace.Tracer) (*stats.Run, error) {
+	p := coherence.DefaultParams()
+	p.L1Size = s.Cache.L1Size
+	p.LLCSize = s.Cache.LLCSize
+	cfg := cpu.Config{
+		Machine: p,
+		HTM:     s.System.HTM,
+		Sync:    s.System.Sync,
+		Threads: s.Threads,
+		Seed:    s.Seed,
+		Limit:   4_000_000_000,
+		Tracer:  tracer,
+	}
+	progs := stamp.Programs(s.Workload, s.Threads, s.Seed)
+	m := cpu.NewMachine(cfg, s.System.Name, s.Workload.Name, progs)
+	return m.Run()
+}
+
+// Runner executes specs in parallel with memoization (CGL baselines are
+// shared across figures).
+type Runner struct {
+	Seed    uint64
+	Workers int
+	// Log, when non-nil, receives one line per completed simulation.
+	Log func(string)
+
+	mu      sync.Mutex
+	results map[string]*stats.Run
+	errs    []error
+}
+
+// NewRunner creates a runner with one worker per CPU.
+func NewRunner(seed uint64) *Runner {
+	return &Runner{Seed: seed, Workers: runtime.NumCPU(), results: make(map[string]*stats.Run)}
+}
+
+// Get runs (or returns the memoized result of) a single spec.
+func (r *Runner) Get(s Spec) (*stats.Run, error) {
+	s.Seed = r.Seed
+	r.mu.Lock()
+	if res, ok := r.results[s.key()]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+	res, err := Execute(s)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.results[s.key()] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// RunAll executes all specs in parallel and returns the first error (if
+// any). Results are retrieved afterwards via Get (memoized).
+func (r *Runner) RunAll(specs []Spec) error {
+	// Deduplicate up front so workers never race to run the same spec.
+	seen := make(map[string]bool)
+	var todo []Spec
+	for _, s := range specs {
+		s.Seed = r.Seed
+		r.mu.Lock()
+		_, have := r.results[s.key()]
+		r.mu.Unlock()
+		if !have && !seen[s.key()] {
+			seen[s.key()] = true
+			todo = append(todo, s)
+		}
+	}
+	sort.Slice(todo, func(i, j int) bool { return todo[i].key() < todo[j].key() })
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	ch := make(chan Spec)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				res, err := Execute(s)
+				r.mu.Lock()
+				if err != nil {
+					r.errs = append(r.errs, err)
+				} else {
+					r.results[s.key()] = res
+				}
+				r.mu.Unlock()
+				if r.Log != nil && err == nil {
+					r.Log(res.String())
+				}
+			}
+		}()
+	}
+	for _, s := range todo {
+		ch <- s
+	}
+	close(ch)
+	wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.errs) > 0 {
+		return r.errs[0]
+	}
+	return nil
+}
+
+// Speedup returns CGL-cycles / system-cycles for the same workload, thread
+// count, and cache configuration.
+func (r *Runner) Speedup(sys SystemDef, wl stamp.Profile, threads int, cache CacheConfig) (float64, error) {
+	cgl, err := r.Get(Spec{System: mustSystem("CGL"), Workload: wl, Threads: threads, Cache: cache})
+	if err != nil {
+		return 0, err
+	}
+	run, err := r.Get(Spec{System: sys, Workload: wl, Threads: threads, Cache: cache})
+	if err != nil {
+		return 0, err
+	}
+	if run.ExecCycles == 0 {
+		return 0, fmt.Errorf("harness: zero exec cycles for %s/%s", sys.Name, wl.Name)
+	}
+	return float64(cgl.ExecCycles) / float64(run.ExecCycles), nil
+}
+
+func mustSystem(name string) SystemDef {
+	s, err := SystemByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Result persistence: a Runner's memoized results can be saved to JSON and
+// reloaded, so iterating on figure rendering (or resuming an interrupted
+// -all sweep) does not re-run simulations. The key encodes
+// (system, workload, threads, cache, seed), so stale caches are
+// harmless — changed specs simply miss.
+
+type persistFile struct {
+	Version int                   `json:"version"`
+	Seed    uint64                `json:"seed"`
+	Results map[string]*stats.Run `json:"results"`
+}
+
+const persistVersion = 1
+
+// Save writes the memoized results.
+func (r *Runner) Save(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(persistFile{Version: persistVersion, Seed: r.Seed, Results: r.results})
+}
+
+// Load merges previously saved results into the runner. Results saved
+// under a different seed are rejected (they would silently mix workloads).
+func (r *Runner) Load(rd io.Reader) error {
+	var f persistFile
+	if err := json.NewDecoder(rd).Decode(&f); err != nil {
+		return fmt.Errorf("harness: decoding results: %w", err)
+	}
+	if f.Version != persistVersion {
+		return fmt.Errorf("harness: unsupported results version %d", f.Version)
+	}
+	if f.Seed != r.Seed {
+		return fmt.Errorf("harness: cached results use seed %d, runner uses %d", f.Seed, r.Seed)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range f.Results {
+		if _, ok := r.results[k]; !ok {
+			r.results[k] = v
+		}
+	}
+	return nil
+}
+
+// Cached returns the number of memoized results.
+func (r *Runner) Cached() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.results)
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := NewRunner(7)
+	spec := Spec{System: mustSystem("Baseline"), Workload: tinyProfile(), Threads: 2, Cache: TypicalCache()}
+	orig, err := r.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner(7)
+	if err := r2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached() != r.Cached() {
+		t.Fatalf("cached %d vs %d", r2.Cached(), r.Cached())
+	}
+	got, err := r2.Get(spec) // must hit the cache, not re-simulate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ExecCycles != orig.ExecCycles {
+		t.Fatalf("cycles %d vs %d", got.ExecCycles, orig.ExecCycles)
+	}
+	if got.CommitRate() != orig.CommitRate() {
+		t.Fatal("derived stats diverged after reload")
+	}
+	bd1, bd2 := orig.Breakdown(), got.Breakdown()
+	if bd1 != bd2 {
+		t.Fatalf("breakdowns diverged: %v vs %v", bd1, bd2)
+	}
+}
+
+func TestLoadRejectsWrongSeed(t *testing.T) {
+	r := NewRunner(7)
+	if _, err := r.Get(Spec{System: mustSystem("CGL"), Workload: tinyProfile(), Threads: 2, Cache: TypicalCache()}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(8)
+	if err := r2.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("wrong seed must be rejected")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	r := NewRunner(1)
+	if err := r.Load(bytes.NewReader([]byte("{"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if err := r.Load(bytes.NewReader([]byte(`{"version":9}`))); err == nil {
+		t.Fatal("wrong version must be rejected")
+	}
+}

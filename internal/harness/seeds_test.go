@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.Stdev-1.0) > 1e-9 {
+		t.Fatalf("stdev = %v, want 1", s.Stdev)
+	}
+	one := summarize([]float64{5})
+	if one.Stdev != 0 || one.Mean != 5 {
+		t.Fatalf("single-sample stats = %+v", one)
+	}
+	if summarize(nil).N != 0 {
+		t.Fatal("empty summarize")
+	}
+}
+
+func TestSeedsHelper(t *testing.T) {
+	s := Seeds(10, 3)
+	if len(s) != 3 || s[0] != 10 || s[2] != 12 {
+		t.Fatalf("seeds = %v", s)
+	}
+}
+
+func TestSpeedupSeedsSpread(t *testing.T) {
+	sys := mustSystem("Baseline")
+	st, err := SpeedupSeeds(sys, tinyProfile(), 2, TypicalCache(), Seeds(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 || st.Mean <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Min > st.Mean || st.Max < st.Mean {
+		t.Fatalf("inconsistent spread: %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestCommitRateSeeds(t *testing.T) {
+	sys := mustSystem("LockillerTM")
+	st, err := CommitRateSeeds(sys, tinyProfile(), 2, TypicalCache(), Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean <= 0 || st.Mean > 1 {
+		t.Fatalf("commit rate mean = %v", st.Mean)
+	}
+	if _, err := SpeedupSeeds(sys, tinyProfile(), 2, TypicalCache(), nil); err == nil {
+		t.Fatal("no seeds must error")
+	}
+}

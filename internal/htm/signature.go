@@ -1,0 +1,80 @@
+package htm
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Signature is a Bloom-filter address signature, used by the HTMLock
+// mechanism to hold the read and write sets that overflow the L1 while a
+// lock transaction runs (paper §III-B, inspired by LogTM-SE). Two hash
+// functions over the line address set two bits; membership tests are
+// conservative (no false negatives, possible false positives).
+type Signature struct {
+	bits  []uint64
+	nbits uint64
+	count int
+}
+
+// NewSignature creates a signature with the given number of bits (rounded
+// up to a multiple of 64, minimum 64).
+func NewSignature(n int) *Signature {
+	if n < 64 {
+		n = 64
+	}
+	words := (n + 63) / 64
+	return &Signature{bits: make([]uint64, words), nbits: uint64(words * 64)}
+}
+
+func (s *Signature) hashes(l mem.Line) (uint64, uint64) {
+	x := uint64(l)
+	// Two independent mixes (splitmix64 finalizer variants).
+	h1 := x * 0x9E3779B97F4A7C15
+	h1 ^= h1 >> 29
+	h1 *= 0xBF58476D1CE4E5B9
+	h1 ^= h1 >> 32
+	h2 := x * 0xC2B2AE3D27D4EB4F
+	h2 ^= h2 >> 31
+	h2 *= 0x94D049BB133111EB
+	h2 ^= h2 >> 29
+	return h1 % s.nbits, h2 % s.nbits
+}
+
+// Add inserts a line address.
+func (s *Signature) Add(l mem.Line) {
+	a, b := s.hashes(l)
+	s.bits[a/64] |= 1 << (a % 64)
+	s.bits[b/64] |= 1 << (b % 64)
+	s.count++
+}
+
+// MayContain reports whether the line may have been added (conservative).
+func (s *Signature) MayContain(l mem.Line) bool {
+	a, b := s.hashes(l)
+	return s.bits[a/64]&(1<<(a%64)) != 0 && s.bits[b/64]&(1<<(b%64)) != 0
+}
+
+// Clear resets the signature (hlend flash-clears both LLC signatures).
+func (s *Signature) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.count = 0
+}
+
+// Empty reports whether nothing has been added since the last Clear.
+func (s *Signature) Empty() bool { return s.count == 0 }
+
+// Adds returns how many addresses were inserted since the last Clear.
+func (s *Signature) Adds() int { return s.count }
+
+// PopCount returns the number of set bits; the harness reports it to judge
+// false-positive pressure in the signature-size ablation.
+func (s *Signature) PopCount() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

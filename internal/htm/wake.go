@@ -1,0 +1,36 @@
+package htm
+
+import "math/bits"
+
+// WakeSet is the per-L1 wake-up table of the recovery mechanism (the green
+// shaded table of the paper's Fig. 2): the set of cores whose requests this
+// cache rejected and that must be woken when the local transaction commits
+// or aborts. A bitset suffices for the modeled 32-core machine (sized for
+// up to 64).
+type WakeSet struct{ bits uint64 }
+
+// Add records a core to wake.
+func (w *WakeSet) Add(core int) {
+	if core < 0 || core > 63 {
+		panic("htm: WakeSet core out of range")
+	}
+	w.bits |= 1 << uint(core)
+}
+
+// Empty reports whether no cores are pending.
+func (w *WakeSet) Empty() bool { return w.bits == 0 }
+
+// Contains reports whether the core is pending a wake-up.
+func (w *WakeSet) Contains(core int) bool { return w.bits&(1<<uint(core)) != 0 }
+
+// Drain invokes fn for every pending core and clears the set. This is the
+// commit/abort-time table scan of paper §III-A.
+func (w *WakeSet) Drain(fn func(core int)) {
+	b := w.bits
+	w.bits = 0
+	for b != 0 {
+		c := bits.TrailingZeros64(b)
+		fn(c)
+		b &^= 1 << uint(c)
+	}
+}

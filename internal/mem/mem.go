@@ -1,0 +1,68 @@
+// Package mem defines the physical address model shared by the cache
+// hierarchy, the coherence protocol, and the workload generators: 64-byte
+// cache lines identified by their line number, interleaved across the LLC
+// banks of the tiled CMP.
+package mem
+
+// LineBytes is the cache line size used throughout the modeled machine
+// (Table I of the paper).
+const LineBytes = 64
+
+// Line identifies a 64-byte cache line by its line number (address >> 6).
+type Line uint64
+
+// LineOf converts a byte address into its line number.
+func LineOf(addr uint64) Line { return Line(addr >> 6) }
+
+// Addr returns the first byte address of the line.
+func (l Line) Addr() uint64 { return uint64(l) << 6 }
+
+// Bank returns the home LLC bank for the line under line interleaving.
+func (l Line) Bank(banks int) int { return int(uint64(l) % uint64(banks)) }
+
+// Region is a contiguous range of lines used by workload generators to
+// carve the simulated address space into private, shared, and hot areas.
+type Region struct {
+	Base Line
+	N    int
+}
+
+// Pick returns the i'th line of the region (i is taken modulo the size so
+// generators can index with raw random values).
+func (r Region) Pick(i int) Line {
+	if r.N <= 0 {
+		panic("mem: Pick on empty region")
+	}
+	return r.Base + Line(i%r.N)
+}
+
+// Contains reports whether the line falls inside the region.
+func (r Region) Contains(l Line) bool {
+	return l >= r.Base && l < r.Base+Line(r.N)
+}
+
+// Layout allocates non-overlapping regions from a growing line cursor. It
+// lets each workload build its address map without hard-coded constants
+// colliding between regions.
+type Layout struct{ next Line }
+
+// NewLayout starts allocating at a non-zero base so line 0 (used by the
+// fallback lock in some configurations) stays reserved.
+func NewLayout() *Layout { return &Layout{next: 1 << 20} }
+
+// Alloc reserves n lines and returns the region. To spread regions across
+// LLC banks and cache sets, consecutive allocations are padded to distinct
+// 4KiB-aligned boundaries.
+func (a *Layout) Alloc(n int) Region {
+	if n <= 0 {
+		panic("mem: Alloc with non-positive size")
+	}
+	r := Region{Base: a.next, N: n}
+	a.next += Line(n)
+	// Round up to a 64-line boundary to keep regions from sharing sets in
+	// pathological ways.
+	if rem := uint64(a.next) % 64; rem != 0 {
+		a.next += Line(64 - rem)
+	}
+	return r
+}

@@ -1,0 +1,68 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	if err := quick.Check(func(addr uint64) bool {
+		l := LineOf(addr)
+		return l.Addr() <= addr && addr-l.Addr() < LineBytes
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankInterleave(t *testing.T) {
+	counts := make([]int, 32)
+	for i := 0; i < 32*100; i++ {
+		counts[Line(i).Bank(32)]++
+	}
+	for b, c := range counts {
+		if c != 100 {
+			t.Fatalf("bank %d got %d lines, want 100", b, c)
+		}
+	}
+}
+
+func TestRegionPickContains(t *testing.T) {
+	r := Region{Base: 100, N: 10}
+	for i := 0; i < 50; i++ {
+		l := r.Pick(i)
+		if !r.Contains(l) {
+			t.Fatalf("Pick(%d) = %d outside region", i, l)
+		}
+	}
+	if r.Contains(99) || r.Contains(110) {
+		t.Fatal("Contains accepted out-of-range line")
+	}
+	if !r.Contains(100) || !r.Contains(109) {
+		t.Fatal("Contains rejected boundary lines")
+	}
+}
+
+func TestLayoutNonOverlapping(t *testing.T) {
+	a := NewLayout()
+	var regions []Region
+	for i := 1; i <= 20; i++ {
+		regions = append(regions, a.Alloc(i*7))
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			ri, rj := regions[i], regions[j]
+			if ri.Base < rj.Base+Line(rj.N) && rj.Base < ri.Base+Line(ri.N) {
+				t.Fatalf("regions %d and %d overlap: %+v %+v", i, j, ri, rj)
+			}
+		}
+	}
+}
+
+func TestLayoutPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLayout().Alloc(0)
+}

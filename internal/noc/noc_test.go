@@ -1,0 +1,127 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func newNet(cfg Config) (*sim.Engine, *Network) {
+	e := sim.NewEngine()
+	return e, New(e, topology.NewMesh(4, 8), cfg)
+}
+
+func TestSendLatencyScalesWithHops(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	var t1, t2 uint64
+	n.Send(0, 1, ControlFlits, func() { t1 = e.Now() })
+	n.Send(0, 3, ControlFlits, func() { t2 = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if t1 == 0 || t2 == 0 {
+		t.Fatal("messages not delivered")
+	}
+	if t2 <= t1 {
+		t.Fatalf("3-hop (%d) should take longer than 1-hop (%d)", t2, t1)
+	}
+}
+
+func TestDataSlowerThanControl(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	var tc, td uint64
+	n.Send(0, 31, ControlFlits, func() { tc = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	e2, n2 := newNet(DefaultConfig())
+	n2.Send(0, 31, DataFlits, func() { td = e2.Now() })
+	if err := e2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if td != tc+DataFlits-ControlFlits {
+		t.Fatalf("data latency %d, control %d: want tail-flit delta %d", td, tc, DataFlits-ControlFlits)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	var arr []uint64
+	// Two data messages over the same first link at the same cycle.
+	n.Send(0, 3, DataFlits, func() { arr = append(arr, e.Now()) })
+	n.Send(0, 3, DataFlits, func() { arr = append(arr, e.Now()) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 {
+		t.Fatalf("got %d deliveries", len(arr))
+	}
+	if arr[1] < arr[0]+DataFlits {
+		t.Fatalf("second message arrived at %d, first at %d: no serialization", arr[1], arr[0])
+	}
+	if n.QueueWait == 0 {
+		t.Fatal("expected queueing delay recorded")
+	}
+}
+
+func TestPerfectModeNoContention(t *testing.T) {
+	e, n := newNet(Config{LinkLatency: 1, RouterDelay: 1, LocalLatency: 1, Perfect: true})
+	var arr []uint64
+	n.Send(0, 3, DataFlits, func() { arr = append(arr, e.Now()) })
+	n.Send(0, 3, DataFlits, func() { arr = append(arr, e.Now()) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if arr[0] != arr[1] {
+		t.Fatalf("perfect mode should deliver both at once: %v", arr)
+	}
+	if n.QueueWait != 0 {
+		t.Fatal("perfect mode recorded queue wait")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	var at uint64
+	n.Send(7, 7, DataFlits, func() { at = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1 {
+		t.Fatalf("local delivery at %d, want 1", at)
+	}
+}
+
+func TestDisjointPathsDoNotInterfere(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	var a, b uint64
+	m := n.Mesh()
+	// Route 0->1 (top-left) and route in the bottom row share no links.
+	bottomL := m.Tile(0, 7)
+	bottomR := m.Tile(1, 7)
+	n.Send(0, 1, DataFlits, func() { a = e.Now() })
+	n.Send(bottomL, bottomR, DataFlits, func() { b = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("disjoint paths interfered: %d vs %d", a, b)
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	e, n := newNet(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		n.Send(0, 2, ControlFlits, func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.Messages != 5 {
+		t.Fatalf("Messages = %d, want 5", n.Messages)
+	}
+	if n.FlitHops != 5*2*ControlFlits {
+		t.Fatalf("FlitHops = %d", n.FlitHops)
+	}
+}

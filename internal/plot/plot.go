@@ -1,0 +1,145 @@
+// Package plot renders simple, dependency-free ASCII charts for the
+// benchmark harness: horizontal bar charts for speedup figures and stacked
+// bars for execution-time breakdowns, mirroring the paper's plots in a
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bars renders one horizontal bar per label, scaled to the maximum value.
+// A reference line at ref (e.g. 1.0 for speedup-vs-CGL) is marked with '|'
+// when it falls inside the plotted range; ref <= 0 disables it.
+func Bars(w io.Writer, title string, labels []string, values []float64, unit string, ref float64) {
+	if len(labels) != len(values) {
+		panic("plot: labels/values length mismatch")
+	}
+	fmt.Fprintln(w, title)
+	if len(values) == 0 {
+		return
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	const width = 48
+	refCol := -1
+	if ref > 0 && ref <= maxV {
+		refCol = int(math.Round(ref / maxV * width))
+	}
+	for i, v := range values {
+		n := int(math.Round(v / maxV * width))
+		if n < 0 {
+			n = 0
+		}
+		bar := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n+1))
+		if refCol >= 0 && refCol < len(bar) && bar[refCol] == ' ' {
+			bar[refCol] = '|'
+		}
+		fmt.Fprintf(w, "  %-*s %s %6.2f%s\n", maxL, labels[i], string(bar), v, unit)
+	}
+}
+
+// Series renders a small multi-column table followed by per-row sparkbars,
+// for per-thread-count speedup series.
+func Series(w io.Writer, title string, rows []string, cols []string, data [][]float64, unit string) {
+	fmt.Fprintln(w, title)
+	maxL := 0
+	for _, r := range rows {
+		if len(r) > maxL {
+			maxL = len(r)
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", maxL, "")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %8s", c)
+	}
+	fmt.Fprintln(w)
+	for i, r := range rows {
+		fmt.Fprintf(w, "  %-*s", maxL, r)
+		for _, v := range data[i] {
+			fmt.Fprintf(w, " %7.2f%s", v, unit)
+		}
+		fmt.Fprintf(w, "  %s\n", spark(data[i]))
+	}
+}
+
+// spark renders a tiny bar-per-point profile of a series.
+func spark(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	maxV := 0.0
+	for _, v := range vs {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var sb strings.Builder
+	for _, v := range vs {
+		idx := int(v / maxV * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}
+
+// Stacked renders 100%-stacked bars: one row per label, one glyph class
+// per part. Parts should sum to ~1 per row.
+func Stacked(w io.Writer, title string, labels []string, partNames []string, parts [][]float64) {
+	if len(labels) != len(parts) {
+		panic("plot: labels/parts length mismatch")
+	}
+	glyphs := []byte("#=+~o.:x")
+	fmt.Fprintln(w, title)
+	fmt.Fprint(w, "  legend:")
+	for i, n := range partNames {
+		fmt.Fprintf(w, " %c=%s", glyphs[i%len(glyphs)], n)
+	}
+	fmt.Fprintln(w)
+	maxL := 0
+	for _, l := range labels {
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	const width = 50
+	for i, l := range labels {
+		var sb strings.Builder
+		total := 0
+		for j, f := range parts[i] {
+			n := int(math.Round(f * width))
+			if total+n > width {
+				n = width - total
+			}
+			sb.WriteString(strings.Repeat(string(glyphs[j%len(glyphs)]), n))
+			total += n
+		}
+		if total < width {
+			sb.WriteString(strings.Repeat(" ", width-total))
+		}
+		fmt.Fprintf(w, "  %-*s [%s]\n", maxL, l, sb.String())
+	}
+}

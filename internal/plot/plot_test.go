@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "speedup", []string{"a", "bb"}, []float64{2, 1}, "x", 1)
+	out := sb.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "2.00x") {
+		t.Fatalf("bars output: %s", out)
+	}
+	// The larger value must have a longer bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("reference line missing")
+	}
+}
+
+func TestBarsEmptyAndZero(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "t", nil, nil, "", 0)
+	Bars(&sb, "t", []string{"z"}, []float64{0}, "", 0) // must not divide by zero
+}
+
+func TestBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var sb strings.Builder
+	Bars(&sb, "t", []string{"a"}, []float64{1, 2}, "", 0)
+}
+
+func TestSeries(t *testing.T) {
+	var sb strings.Builder
+	Series(&sb, "fig", []string{"sys1"}, []string{"2T", "4T"}, [][]float64{{1.5, 3.0}}, "x")
+	out := sb.String()
+	for _, frag := range []string{"sys1", "2T", "1.50x", "3.00x"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("series output missing %q: %s", frag, out)
+		}
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if spark(nil) != "" {
+		t.Fatal("empty spark")
+	}
+	s := spark([]float64{0, 1})
+	r := []rune(s)
+	if len(r) != 2 || r[0] == r[1] {
+		t.Fatalf("spark = %q", s)
+	}
+}
+
+func TestStacked(t *testing.T) {
+	var sb strings.Builder
+	Stacked(&sb, "breakdown", []string{"w1"}, []string{"htm", "lock"}, [][]float64{{0.5, 0.5}})
+	out := sb.String()
+	if !strings.Contains(out, "legend") || !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("stacked output: %s", out)
+	}
+	// Bar content fits the bracket width.
+	row := out[strings.Index(out, "["):]
+	if len(row) < 50 {
+		t.Fatalf("row too short: %q", row)
+	}
+}
+
+func TestStackedOverflowClamped(t *testing.T) {
+	var sb strings.Builder
+	// Parts sum > 1: must clamp, not panic.
+	Stacked(&sb, "b", []string{"x"}, []string{"a", "b"}, [][]float64{{0.9, 0.9}})
+}

@@ -1,0 +1,77 @@
+package priority
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWinsTotalOrder(t *testing.T) {
+	// Antisymmetry: for distinct (p,c) vs (q,d) pairs exactly one wins.
+	if err := quick.Check(func(p, q uint64, c8, d8 uint8) bool {
+		c, d := int(c8)%32, int(d8)%32
+		if p == q && c == d {
+			return true // same transaction; not meaningful
+		}
+		return Wins(p, c, q, d) != Wins(q, d, p, c)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinsHigherPriority(t *testing.T) {
+	if !Wins(10, 5, 3, 0) {
+		t.Fatal("higher priority must win regardless of core ID")
+	}
+	if Wins(3, 0, 10, 5) {
+		t.Fatal("lower priority must lose")
+	}
+}
+
+func TestWinsTieBreak(t *testing.T) {
+	if !Wins(7, 2, 7, 9) {
+		t.Fatal("tie must go to smaller core ID")
+	}
+	if Wins(7, 9, 7, 2) {
+		t.Fatal("larger core ID must lose ties")
+	}
+}
+
+func TestMaxBeatsEverything(t *testing.T) {
+	if err := quick.Check(func(p uint64, c8 uint8) bool {
+		if p == Max {
+			return true
+		}
+		return Wins(Max, 31, p, int(c8)%32)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	var ib InstsBased
+	if ib.Priority(123, 9, 9) != 123 {
+		t.Fatal("insts-based must return retired insts")
+	}
+	var pr Progression
+	if pr.Priority(123, 4, 6) != 10 {
+		t.Fatal("progression must return footprint")
+	}
+	st := Static{Value: 55}
+	if st.Priority(0, 0, 0) != 55 || st.Priority(999, 9, 9) != 55 {
+		t.Fatal("static must be constant")
+	}
+	for _, p := range []Policy{ib, pr, st} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+func TestInstsBasedRestartsLow(t *testing.T) {
+	// The friendly-fire property: a restarted tx (0 insts) loses to any
+	// tx that has made progress.
+	var ib InstsBased
+	if Wins(ib.Priority(0, 0, 0), 0, ib.Priority(1, 0, 0), 1) {
+		t.Fatal("fresh restart must lose to in-progress tx")
+	}
+}

@@ -1,0 +1,123 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other component of the LockillerTM reproduction.
+//
+// The kernel is a single-threaded event loop: components schedule callbacks
+// at absolute or relative cycle times and the engine executes them in
+// non-decreasing time order. Events scheduled for the same cycle run in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// which makes every simulation bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrLimitReached is returned by Run when the cycle limit expires before the
+// event queue drains. It usually indicates a livelock or deadlock in the
+// simulated machine and is treated as fatal by the harness.
+var ErrLimitReached = errors.New("sim: cycle limit reached with events still pending")
+
+// Event is a callback scheduled to run at a particular cycle.
+type event struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now      uint64
+	seq      uint64
+	heap     eventHeap
+	executed uint64
+
+	// Watchdog state: the engine aborts a Run if no progress callback fires
+	// within Watchdog cycles. Components that make forward progress (e.g. a
+	// core committing a transaction) call Progress to pat the watchdog.
+	Watchdog     uint64
+	lastProgress uint64
+}
+
+// NewEngine returns an engine with the default watchdog window.
+func NewEngine() *Engine {
+	return &Engine{Watchdog: 50_000_000}
+}
+
+// Now returns the current simulation cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Executed returns the number of events executed so far; useful for
+// performance reporting and for tests asserting that work happened.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past panics:
+// it is always a component bug.
+func (e *Engine) At(t uint64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{when: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
+
+// Progress informs the watchdog that the simulated machine made forward
+// progress (e.g. a transaction committed or a section finished).
+func (e *Engine) Progress() { e.lastProgress = e.now }
+
+// Step executes the next pending event, advancing time. It reports whether
+// an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.when
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the cycle limit is exceeded.
+// limit==0 means no limit. If the watchdog window elapses without a Progress
+// call the run aborts with a diagnostic error.
+func (e *Engine) Run(limit uint64) error {
+	e.lastProgress = e.now
+	for len(e.heap) > 0 {
+		if limit != 0 && e.heap[0].when > limit {
+			return fmt.Errorf("%w: now=%d pending=%d", ErrLimitReached, e.now, len(e.heap))
+		}
+		if e.Watchdog != 0 && e.now-e.lastProgress > e.Watchdog {
+			return fmt.Errorf("sim: watchdog expired: no progress since cycle %d (now %d, pending %d)",
+				e.lastProgress, e.now, len(e.heap))
+		}
+		e.Step()
+	}
+	return nil
+}

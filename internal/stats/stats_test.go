@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htm"
+)
+
+func TestSegmentAccounting(t *testing.T) {
+	r := NewRun("sys", "wl", 1)
+	c := r.Cores[0]
+	c.StartSegment(CatHTM, 10)      // [0,10) non-tran
+	c.StartSegment(CatWaitLock, 25) // [10,25) htm
+	c.Finish(40)                    // [25,40) waitlock
+	if c.Cycles[CatNonTx] != 10 || c.Cycles[CatHTM] != 15 || c.Cycles[CatWaitLock] != 15 {
+		t.Fatalf("cycles = %v", c.Cycles)
+	}
+	if c.TotalCycles() != 40 {
+		t.Fatalf("total = %d", c.TotalCycles())
+	}
+}
+
+func TestCloseAsReclassifies(t *testing.T) {
+	r := NewRun("sys", "wl", 1)
+	c := r.Cores[0]
+	c.StartSegment(CatHTM, 0)
+	c.CloseAs(CatAborted, CatRollback, 100) // the attempt aborted
+	c.Finish(130)
+	if c.Cycles[CatHTM] != 0 {
+		t.Fatal("aborted attempt cycles leaked into htm")
+	}
+	if c.Cycles[CatAborted] != 100 || c.Cycles[CatRollback] != 30 {
+		t.Fatalf("cycles = %v", c.Cycles)
+	}
+}
+
+func TestCommitRate(t *testing.T) {
+	r := NewRun("s", "w", 2)
+	r.Cores[0].Attempts, r.Cores[0].Commits = 10, 5
+	r.Cores[1].Attempts, r.Cores[1].Commits = 10, 10
+	if got := r.CommitRate(); got != 0.75 {
+		t.Fatalf("commit rate = %v", got)
+	}
+	empty := NewRun("s", "w", 1)
+	if empty.CommitRate() != 1 {
+		t.Fatal("no attempts should read as 1.0 (CGL)")
+	}
+}
+
+func TestAbortAccounting(t *testing.T) {
+	r := NewRun("s", "w", 2)
+	r.Cores[0].Abort(htm.CauseMC)
+	r.Cores[0].Abort(htm.CauseMC)
+	r.Cores[1].Abort(htm.CauseOverflow)
+	total, by := r.TotalAborts()
+	if total != 3 || by[htm.CauseMC] != 2 || by[htm.CauseOverflow] != 1 {
+		t.Fatalf("total=%d by=%v", total, by)
+	}
+	share := r.AbortShare()
+	if share[htm.CauseMC] < 0.66 || share[htm.CauseMC] > 0.67 {
+		t.Fatalf("share = %v", share)
+	}
+}
+
+func TestBreakdownNormalized(t *testing.T) {
+	r := NewRun("s", "w", 2)
+	r.Cores[0].Cycles[CatHTM] = 30
+	r.Cores[0].Cycles[CatNonTx] = 70
+	r.Cores[1].Cycles[CatLock] = 100
+	bd := r.Breakdown()
+	var sum float64
+	for _, f := range bd {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+	if bd[CatHTM] != 0.15 || bd[CatLock] != 0.5 {
+		t.Fatalf("bd = %v", bd)
+	}
+	if z := (&Run{}).Breakdown(); z[CatHTM] != 0 {
+		t.Fatal("empty run breakdown must be zeros")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		CatHTM: "htm", CatAborted: "aborted", CatLock: "lock",
+		CatSwitchLock: "switchLock", CatNonTx: "non-tran",
+		CatWaitLock: "waitlock", CatRollback: "rollback",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestRunString(t *testing.T) {
+	r := NewRun("LockillerTM", "yada", 2)
+	r.ExecCycles = 123
+	r.Cores[0].Attempts, r.Cores[0].Commits = 4, 2
+	r.Cores[0].Abort(htm.CauseFault)
+	s := r.String()
+	for _, frag := range []string{"yada", "LockillerTM", "123", "fault=1"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestSectionsSum(t *testing.T) {
+	r := NewRun("s", "w", 3)
+	r.Cores[0].Sections = 5
+	r.Cores[2].Sections = 7
+	if r.Sections() != 12 {
+		t.Fatalf("sections = %d", r.Sections())
+	}
+}

@@ -1,0 +1,161 @@
+// Package tme is an executable specification of the paper's software-side
+// contribution: the elided-lock programming interfaces of Listing 1 (the
+// classic best-effort interface and its HTMLock modification) and
+// Listing 2 (the enhanced release path with the extended ttest of the
+// switchingMode mechanism).
+//
+// The package is deliberately a pure state machine over an abstract
+// Hardware interface: the simulator's core model (internal/cpu) implements
+// the same control flow in event-driven form; the tests here pin down the
+// exact instruction sequences of the listings (which instructions execute,
+// in which order, under which lock/transaction state), serving as the
+// reference the core model is reviewed against.
+package tme
+
+import "fmt"
+
+// Status models the xstatus register returned by xbegin.
+type Status uint64
+
+const (
+	// StatusSuccess: the transaction started (Listing 1 line 7).
+	StatusSuccess Status = 0
+	// StatusLockAcquired: the explicit xabort(TME_LOCK_IS_ACQUIRED) of
+	// Listing 1 line 9.
+	StatusLockAcquired Status = 0xFF
+	// StatusConflict / StatusCapacity / StatusFault: hardware abort codes.
+	StatusConflict Status = 1
+	StatusCapacity Status = 2
+	StatusFault    Status = 3
+)
+
+// Extended ttest return values (paper §III-C): "If the CPU is in STL mode,
+// the instruction return value can be set to 0x0FFFFFFF. While in TL mode,
+// the return value can be set to 0x1FFFFFFFF." Ordinary transactions
+// return their nesting depth (1 for a flat transaction), 0 outside.
+const (
+	TTestSTL uint64 = 0x0FFFFFFF
+	TTestTL  uint64 = 0x1FFFFFFFF
+)
+
+// Hardware is the ISA surface the listings program against.
+type Hardware interface {
+	// XBegin attempts to start a speculative transaction; on an abort the
+	// control flow re-enters at xbegin with the abort status.
+	XBegin() Status
+	// XAbort explicitly aborts the running transaction with a code.
+	XAbort(code Status)
+	// XEnd commits the running speculative transaction.
+	XEnd()
+	// HLBegin enters HTMLock mode (TL); guaranteed to succeed (§III-B).
+	HLBegin()
+	// HLEnd leaves HTMLock mode and clears the read/write sets.
+	HLEnd()
+	// TTest returns the extended transactional status (§III-C).
+	TTest() uint64
+
+	// The fallback lock.
+	LockIsFree() bool
+	LockAcquire()
+	LockRelease()
+
+	// TxRead subscribes an address to the read set; the classic interface
+	// uses it to subscribe to the fallback lock (Listing 1 line 8).
+	TxRead(lockAddr bool)
+}
+
+// Config selects the interface variant.
+type Config struct {
+	// HTMLock applies Listing 1's grey-background modification: no
+	// fallback-lock subscription, and the fallback path runs hlbegin.
+	HTMLock bool
+	// MaxRetries is TME_MAX_RETRIES (Listing 1 line 3).
+	MaxRetries int
+}
+
+// Mode is what LockAcquireElided decided.
+type Mode int
+
+const (
+	// ModeHTM: the critical section runs speculatively.
+	ModeHTM Mode = iota
+	// ModeLock: the critical section runs on the fallback path (with
+	// hlbegin under HTMLock — a TL lock transaction; a plain mutex
+	// section otherwise).
+	ModeLock
+)
+
+// RetryStrategy decides whether to retry after an abort (Listing 1 line
+// 15). The default retries while the budget lasts, waiting out a held
+// lock first — the behaviour recommended for Intel RTM.
+type RetryStrategy func(status Status, retriesLeft int, lockFree bool) bool
+
+// DefaultRetryStrategy retries while budget remains; a lock-acquired abort
+// does not consume budget (the caller spins until the lock frees).
+func DefaultRetryStrategy(status Status, retriesLeft int, lockFree bool) bool {
+	return retriesLeft > 0
+}
+
+// LockAcquireElided is Listing 1's lock_acquire_elided: it returns the
+// mode the caller must run the critical section in. The hardware's XBegin
+// is re-entered on every abort, exactly like the instruction's semantics.
+func LockAcquireElided(hw Hardware, cfg Config, retry RetryStrategy) Mode {
+	if retry == nil {
+		retry = DefaultRetryStrategy
+	}
+	numRetries := cfg.MaxRetries
+	for {
+		status := hw.XBegin()
+		if status == StatusSuccess {
+			if cfg.HTMLock {
+				// Grey modification: no lock subscription; HTM transactions
+				// and lock transactions coexist.
+				return ModeHTM
+			}
+			hw.TxRead(true) // subscribe the fallback lock (line 8)
+			if !hw.LockIsFree() {
+				hw.XAbort(StatusLockAcquired) // line 9; re-enters XBegin
+				continue
+			}
+			return ModeHTM // line 11
+		}
+		numRetries--
+		if !retry(status, numRetries, hw.LockIsFree()) {
+			break
+		}
+	}
+	// Lines 16-18: the fallback path.
+	hw.LockAcquire()
+	if cfg.HTMLock {
+		hw.HLBegin() // line 17: enter HTMLock mode
+	}
+	return ModeLock
+}
+
+// LockReleaseElided is Listing 2's enhanced lock_release_elided: the
+// extended ttest dispatches between STL (hlend only — the lock was never
+// taken), TL (hlend + release), and a plain HTM commit. Without HTMLock it
+// degrades to Listing 1 lines 22-31 (lock-free check selects xend vs
+// release).
+func LockReleaseElided(hw Hardware, cfg Config) {
+	if !cfg.HTMLock {
+		if hw.LockIsFree() {
+			hw.XEnd() // Listing 1 line 25
+			return
+		}
+		hw.LockRelease() // Listing 1 line 28 (no hlend: classic interface)
+		return
+	}
+	switch t := hw.TTest(); t {
+	case TTestSTL:
+		hw.HLEnd() // Listing 2 line 5: no lock to release
+	case TTestTL:
+		hw.HLEnd()
+		hw.LockRelease() // Listing 2 lines 7-8
+	default:
+		if t == 0 {
+			panic(fmt.Sprintf("tme: release outside any transaction (ttest=%#x)", t))
+		}
+		hw.XEnd() // Listing 2 line 10
+	}
+}

@@ -1,0 +1,194 @@
+package tme
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mockHW scripts the hardware's behaviour and records the instruction
+// sequence the listings execute.
+type mockHW struct {
+	ops []string
+	// beginResults supplies XBegin outcomes in order; exhausted = Success.
+	beginResults []Status
+	lockFree     bool
+	lockFreeSeq  []bool // optional scripted LockIsFree answers
+	ttest        uint64
+}
+
+func (m *mockHW) record(op string) { m.ops = append(m.ops, op) }
+
+func (m *mockHW) XBegin() Status {
+	m.record("xbegin")
+	if len(m.beginResults) == 0 {
+		return StatusSuccess
+	}
+	s := m.beginResults[0]
+	m.beginResults = m.beginResults[1:]
+	return s
+}
+func (m *mockHW) XAbort(code Status) {
+	m.record("xabort")
+	// The next XBegin re-entry reports the explicit code.
+	m.beginResults = append([]Status{code}, m.beginResults...)
+}
+func (m *mockHW) XEnd()    { m.record("xend") }
+func (m *mockHW) HLBegin() { m.record("hlbegin") }
+func (m *mockHW) HLEnd()   { m.record("hlend") }
+func (m *mockHW) TTest() uint64 {
+	m.record("ttest")
+	return m.ttest
+}
+func (m *mockHW) LockIsFree() bool {
+	if len(m.lockFreeSeq) > 0 {
+		v := m.lockFreeSeq[0]
+		m.lockFreeSeq = m.lockFreeSeq[1:]
+		return v
+	}
+	return m.lockFree
+}
+func (m *mockHW) LockAcquire() { m.record("lock_acquire") }
+func (m *mockHW) LockRelease() { m.record("lock_release") }
+func (m *mockHW) TxRead(lockAddr bool) {
+	if lockAddr {
+		m.record("read_lock")
+	}
+}
+
+func classic() Config { return Config{HTMLock: false, MaxRetries: 3} }
+func htmlock() Config { return Config{HTMLock: true, MaxRetries: 3} }
+
+func TestClassicHappyPath(t *testing.T) {
+	hw := &mockHW{lockFree: true}
+	mode := LockAcquireElided(hw, classic(), nil)
+	if mode != ModeHTM {
+		t.Fatalf("mode = %v", mode)
+	}
+	// Listing 1 lines 6-11: xbegin, subscribe, check, proceed.
+	want := []string{"xbegin", "read_lock"}
+	if !reflect.DeepEqual(hw.ops, want) {
+		t.Fatalf("ops = %v, want %v", hw.ops, want)
+	}
+}
+
+func TestClassicLockHeldAbortsExplicitly(t *testing.T) {
+	// Lock held at xbegin: lines 8-9 force xabort(TME_LOCK_IS_ACQUIRED),
+	// the retry loop spins, and once free the transaction proceeds.
+	hw := &mockHW{lockFreeSeq: []bool{false, true, true}}
+	mode := LockAcquireElided(hw, classic(), nil)
+	if mode != ModeHTM {
+		t.Fatalf("mode = %v", mode)
+	}
+	// The xabort re-enters xbegin reporting the explicit code (second
+	// xbegin); the retry loop then starts a fresh transaction (third).
+	want := []string{"xbegin", "read_lock", "xabort", "xbegin", "xbegin", "read_lock"}
+	if !reflect.DeepEqual(hw.ops, want) {
+		t.Fatalf("ops = %v, want %v", hw.ops, want)
+	}
+}
+
+func TestClassicFallbackAfterBudget(t *testing.T) {
+	hw := &mockHW{lockFree: true,
+		beginResults: []Status{StatusConflict, StatusConflict, StatusConflict, StatusConflict}}
+	mode := LockAcquireElided(hw, classic(), nil)
+	if mode != ModeLock {
+		t.Fatalf("mode = %v", mode)
+	}
+	// TME_MAX_RETRIES=3 gives three attempts (Listing 1's do-while), then
+	// the classic fallback acquires the lock WITHOUT hlbegin.
+	want := []string{"xbegin", "xbegin", "xbegin", "lock_acquire"}
+	if !reflect.DeepEqual(hw.ops, want) {
+		t.Fatalf("ops = %v, want %v", hw.ops, want)
+	}
+}
+
+func TestHTMLockSkipsSubscription(t *testing.T) {
+	hw := &mockHW{lockFree: false} // lock held — and it must not matter
+	mode := LockAcquireElided(hw, htmlock(), nil)
+	if mode != ModeHTM {
+		t.Fatalf("mode = %v", mode)
+	}
+	want := []string{"xbegin"} // no read_lock: the grey modification
+	if !reflect.DeepEqual(hw.ops, want) {
+		t.Fatalf("ops = %v, want %v", hw.ops, want)
+	}
+}
+
+func TestHTMLockFallbackRunsHLBegin(t *testing.T) {
+	hw := &mockHW{beginResults: []Status{StatusCapacity, StatusCapacity, StatusCapacity, StatusCapacity}}
+	mode := LockAcquireElided(hw, htmlock(), nil)
+	if mode != ModeLock {
+		t.Fatalf("mode = %v", mode)
+	}
+	// Listing 1 lines 16-17 with the modification: lock, then hlbegin.
+	n := len(hw.ops)
+	if hw.ops[n-2] != "lock_acquire" || hw.ops[n-1] != "hlbegin" {
+		t.Fatalf("fallback tail = %v", hw.ops[n-2:])
+	}
+}
+
+func TestReleaseClassic(t *testing.T) {
+	// Speculative commit (lock free at release => we are in a tx).
+	hw := &mockHW{lockFree: true}
+	LockReleaseElided(hw, classic())
+	if !reflect.DeepEqual(hw.ops, []string{"xend"}) {
+		t.Fatalf("ops = %v", hw.ops)
+	}
+	// Fallback release (lock held by us).
+	hw = &mockHW{lockFree: false}
+	LockReleaseElided(hw, classic())
+	if !reflect.DeepEqual(hw.ops, []string{"lock_release"}) {
+		t.Fatalf("ops = %v", hw.ops)
+	}
+}
+
+func TestReleaseListing2Dispatch(t *testing.T) {
+	// STL: hlend only — "there is no need to release the lock" (§III-C).
+	hw := &mockHW{ttest: TTestSTL}
+	LockReleaseElided(hw, htmlock())
+	if !reflect.DeepEqual(hw.ops, []string{"ttest", "hlend"}) {
+		t.Fatalf("STL ops = %v", hw.ops)
+	}
+	// TL: hlend then release (Listing 2 lines 6-8).
+	hw = &mockHW{ttest: TTestTL}
+	LockReleaseElided(hw, htmlock())
+	if !reflect.DeepEqual(hw.ops, []string{"ttest", "hlend", "lock_release"}) {
+		t.Fatalf("TL ops = %v", hw.ops)
+	}
+	// Ordinary transaction: xend (Listing 2 line 10).
+	hw = &mockHW{ttest: 1}
+	LockReleaseElided(hw, htmlock())
+	if !reflect.DeepEqual(hw.ops, []string{"ttest", "xend"}) {
+		t.Fatalf("HTM ops = %v", hw.ops)
+	}
+}
+
+func TestReleaseOutsideTxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LockReleaseElided(&mockHW{ttest: 0}, htmlock())
+}
+
+func TestTTestConstantsDistinct(t *testing.T) {
+	// The two sentinels must be distinguishable from each other and from
+	// any plausible nesting depth.
+	if TTestSTL == TTestTL || TTestSTL < 1000 || TTestTL < 1000 {
+		t.Fatal("ttest sentinels not usable")
+	}
+}
+
+func TestCustomRetryStrategy(t *testing.T) {
+	// A strategy that gives up immediately sends the first abort to the
+	// fallback path.
+	hw := &mockHW{beginResults: []Status{StatusFault}}
+	mode := LockAcquireElided(hw, classic(), func(s Status, left int, free bool) bool { return false })
+	if mode != ModeLock {
+		t.Fatalf("mode = %v", mode)
+	}
+	if len(hw.ops) != 2 || hw.ops[1] != "lock_acquire" {
+		t.Fatalf("ops = %v", hw.ops)
+	}
+}

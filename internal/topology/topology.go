@@ -1,0 +1,76 @@
+// Package topology models the tiled CMP's 2-D mesh and its deterministic
+// X-Y routing. Table I of the paper specifies a 4x8 mesh (32 tiles) with
+// one core + one L1 + one LLC bank per tile.
+package topology
+
+import "fmt"
+
+// Mesh is a W x H grid of tiles numbered row-major: tile = y*W + x.
+type Mesh struct {
+	W, H int
+}
+
+// NewMesh validates the dimensions and returns the mesh.
+func NewMesh(w, h int) Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
+	}
+	return Mesh{W: w, H: h}
+}
+
+// Tiles returns the number of tiles.
+func (m Mesh) Tiles() int { return m.W * m.H }
+
+// XY returns the coordinates of a tile.
+func (m Mesh) XY(tile int) (x, y int) { return tile % m.W, tile / m.W }
+
+// Tile returns the tile at coordinates (x, y).
+func (m Mesh) Tile(x, y int) int { return y*m.W + x }
+
+// Hops returns the Manhattan distance between two tiles, which X-Y routing
+// always achieves (it is minimal and deadlock-free on a mesh).
+func (m Mesh) Hops(src, dst int) int {
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Link identifies a directed link between two adjacent tiles.
+type Link struct{ From, To int }
+
+// Route returns the ordered list of directed links traversed by an X-Y
+// routed message from src to dst. An empty slice means src == dst.
+func (m Mesh) Route(src, dst int) []Link {
+	if src == dst {
+		return nil
+	}
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	links := make([]Link, 0, m.Hops(src, dst))
+	x, y := sx, sy
+	for x != dx {
+		nx := x + step(x, dx)
+		links = append(links, Link{From: m.Tile(x, y), To: m.Tile(nx, y)})
+		x = nx
+	}
+	for y != dy {
+		ny := y + step(y, dy)
+		links = append(links, Link{From: m.Tile(x, y), To: m.Tile(x, ny)})
+		y = ny
+	}
+	return links
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func step(from, to int) int {
+	if from < to {
+		return 1
+	}
+	return -1
+}

@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXYRoundTrip(t *testing.T) {
+	m := NewMesh(4, 8)
+	for tile := 0; tile < m.Tiles(); tile++ {
+		x, y := m.XY(tile)
+		if m.Tile(x, y) != tile {
+			t.Fatalf("tile %d round-trips to %d", tile, m.Tile(x, y))
+		}
+	}
+}
+
+func TestRouteLengthEqualsHops(t *testing.T) {
+	m := NewMesh(4, 8)
+	if err := quick.Check(func(a, b uint8) bool {
+		src := int(a) % m.Tiles()
+		dst := int(b) % m.Tiles()
+		return len(m.Route(src, dst)) == m.Hops(src, dst)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteContiguousAdjacent(t *testing.T) {
+	m := NewMesh(4, 8)
+	for src := 0; src < m.Tiles(); src++ {
+		for dst := 0; dst < m.Tiles(); dst++ {
+			r := m.Route(src, dst)
+			cur := src
+			for _, l := range r {
+				if l.From != cur {
+					t.Fatalf("route %d->%d not contiguous: %v", src, dst, r)
+				}
+				if m.Hops(l.From, l.To) != 1 {
+					t.Fatalf("route %d->%d uses non-adjacent link %v", src, dst, l)
+				}
+				cur = l.To
+			}
+			if cur != dst {
+				t.Fatalf("route %d->%d ends at %d", src, dst, cur)
+			}
+		}
+	}
+}
+
+func TestRouteXBeforeY(t *testing.T) {
+	m := NewMesh(4, 8)
+	r := m.Route(m.Tile(0, 0), m.Tile(3, 2))
+	// First 3 links must move in X, the rest in Y.
+	for i, l := range r {
+		fx, fy := m.XY(l.From)
+		tx, ty := m.XY(l.To)
+		if i < 3 {
+			if fy != ty || fx == tx {
+				t.Fatalf("link %d should be an X move: %v", i, l)
+			}
+		} else {
+			if fx != tx || fy == ty {
+				t.Fatalf("link %d should be a Y move: %v", i, l)
+			}
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	m := NewMesh(4, 8)
+	if len(m.Route(5, 5)) != 0 {
+		t.Fatal("self route should be empty")
+	}
+	if m.Hops(5, 5) != 0 {
+		t.Fatal("self hops should be 0")
+	}
+}
+
+func TestNewMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0x4 mesh")
+		}
+	}()
+	NewMesh(0, 4)
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(CatProto) {
+		t.Fatal("nil tracer must be disabled")
+	}
+	tr.Emit(0, CatProto, 1, "x") // must not panic
+	tr.Emitf(0, CatTx, 0, "y %d", 1)
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	var sb strings.Builder
+	tr.Render(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil tracer rendered output")
+	}
+}
+
+func TestRingBufferKeepsLatest(t *testing.T) {
+	tr := New(4, nil)
+	now := uint64(0)
+	tr.Now = func() uint64 { now++; return now }
+	for i := 0; i < 10; i++ {
+		tr.Emitf(i, CatProto, 0, "ev%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Core != 6 || evs[3].Core != 9 {
+		t.Fatalf("wrong window: %+v", evs)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	// Chronological order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Cycle < evs[i-1].Cycle {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestCategoryFiltering(t *testing.T) {
+	cats, err := ParseCategories("tx,conflict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(16, cats)
+	tr.Emit(0, CatProto, 0, "dropped")
+	tr.Emit(0, CatTx, 0, "kept")
+	tr.Emit(0, CatConflict, 0, "kept")
+	if tr.Total() != 2 {
+		t.Fatalf("total = %d, want 2", tr.Total())
+	}
+	if !tr.Enabled(CatTx) || tr.Enabled(CatHTMLock) {
+		t.Fatal("Enabled wrong")
+	}
+}
+
+func TestParseCategoriesErrors(t *testing.T) {
+	if _, err := ParseCategories("nope"); err == nil {
+		t.Fatal("unknown category must error")
+	}
+	all, err := ParseCategories("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("empty filter should enable all: %v %v", all, err)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 42, Core: 3, Cat: CatConflict, Line: 100, What: "reject"}
+	s := e.String()
+	for _, frag := range []string{"42", "c03", "conflict", "line=100", "reject"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("%q missing %q", s, frag)
+		}
+	}
+	// Line 0 omits the line field.
+	e2 := Event{Cycle: 1, Core: 0, Cat: CatTx, What: "xbegin"}
+	if strings.Contains(e2.String(), "line=") {
+		t.Fatal("line=0 should be omitted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New(8, nil)
+	tr.Emit(1, CatTx, 0, "commit")
+	var sb strings.Builder
+	tr.Render(&sb)
+	if !strings.Contains(sb.String(), "commit") || !strings.Contains(sb.String(), "1 events") {
+		t.Fatalf("render: %s", sb.String())
+	}
+}
