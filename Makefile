@@ -1,0 +1,38 @@
+# Standard developer entry points. The repo is plain `go build`-able; this
+# file just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench figures clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short test set under the race detector (CI runs this; the full matrix
+# under -race is slow).
+test-race:
+	$(GO) test -race -short ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Run the scheduler + full-simulator benchmarks and write BENCH_1.json
+# (ns/op, B/op, allocs/op per benchmark).
+bench:
+	sh scripts/bench.sh BENCH_1.json
+
+# Regenerate the paper's figures (quick scope).
+figures:
+	$(GO) run ./cmd/lockillerbench -all -quick
+
+clean:
+	$(GO) clean ./...
+	rm -f cpu.out mem.out

@@ -7,12 +7,16 @@
 //	lockillerbench -all              # the full evaluation (long)
 //	lockillerbench -fig 7 -quick     # narrowed sweep for a fast look
 //	lockillerbench -v                # log every completed simulation
+//	lockillerbench -fig 7 -cpuprofile cpu.out -memprofile mem.out
+//	                                 # profile the run (inspect with go tool pprof)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/harness"
 	"repro/internal/stamp"
@@ -29,7 +33,37 @@ func main() {
 	chart := flag.Bool("chart", false, "render ASCII charts after the text tables")
 	check := flag.Bool("check", false, "evaluate the paper's qualitative claims (PASS/FAIL) and exit")
 	cacheFile := flag.String("results", "", "persist simulation results to this JSON file (loaded first, saved after)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			}
+		}()
+	}
 
 	r := harness.NewRunner(*seed)
 	if *cacheFile != "" {

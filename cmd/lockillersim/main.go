@@ -16,6 +16,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/harness"
+	"repro/internal/htm"
 	"repro/internal/stamp"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -113,8 +114,10 @@ func main() {
 		run.ExecCycles, run.Sections(), run.CommitRate())
 	total, by := run.TotalAborts()
 	fmt.Printf("aborts    : %d", total)
-	for cause, n := range by {
-		fmt.Printf("  %s=%d", cause, n)
+	for c := htm.CauseNone + 1; int(c) <= htm.NumCauses; c++ {
+		if n := by[c]; n > 0 {
+			fmt.Printf("  %s=%d", c, n)
+		}
 	}
 	fmt.Println()
 	bd := run.Breakdown()

@@ -58,6 +58,10 @@ type Bank struct {
 	arr *cache.Array
 	dir map[mem.Line]*dirLine
 
+	// pendFree recycles pending trackers (one is allocated per serviced
+	// request, which is hot enough to pool).
+	pendFree []*pending
+
 	// Stats.
 	Requests, Rejections, Nacks, MemFetches, BackInvals uint64
 }
@@ -92,20 +96,52 @@ func (b *Bank) line(l mem.Line) *dirLine {
 	return d
 }
 
-// send dispatches a message from this bank over the NoC.
-func (b *Bank) send(m *Msg) {
-	m.Src = b.id
-	b.sys.route(m)
+// newPending returns a zeroed pending tracker from the bank's free list.
+func (b *Bank) newPending() *pending {
+	if n := len(b.pendFree); n > 0 {
+		p := b.pendFree[n-1]
+		b.pendFree = b.pendFree[:n-1]
+		*p = pending{}
+		return p
+	}
+	return new(pending)
 }
 
+// freePending recycles a pending tracker once the line reopens (or its
+// back-invalidation completes) and nothing references it anymore.
+func (b *Bank) freePending(p *pending) { b.pendFree = append(b.pendFree, p) }
+
+// send dispatches a message from this bank through the System's message
+// pool and over the NoC.
+func (b *Bank) send(v Msg) {
+	v.Src = b.id
+	b.sys.send(v)
+}
+
+// sendAfter dispatches a message d cycles from now (directory decision and
+// LLC access latencies). The message is materialized eagerly so the pending
+// request it answers can be recycled without a read-after-free.
+func (b *Bank) sendAfter(d uint64, v Msg) {
+	v.Src = b.id
+	b.sys.sendAfter(d, v)
+}
+
+// Typed-event kinds handled by Bank.OnEvent.
+const evBankReceive uint8 = iota // p = *Msg: re-enter Receive (post-eviction restart)
+
+// OnEvent implements sim.Handler for deferred message re-dispatch.
+func (b *Bank) OnEvent(_ uint8, _ uint64, p any) { b.Receive(p.(*Msg)) }
+
 // Receive is the bank's message input, invoked by the NoC after delivery.
+// It owns m: each arm either recycles the message or stores it (the blocked
+// queue, or the pending-request slot — recycled at reopen).
 func (b *Bank) Receive(m *Msg) {
 	switch m.Type {
 	case MsgGetS, MsgGetM:
 		b.Requests++
 		d := b.line(m.Line)
 		if d.busy {
-			d.queue = append(d.queue, m)
+			d.queue = append(d.queue, m) // ownership moves to the queue
 			return
 		}
 		b.service(d, m)
@@ -116,19 +152,25 @@ func (b *Bank) Receive(m *Msg) {
 			return
 		}
 		b.handlePut(d, m)
+		b.sys.free(m)
 	case MsgTxWB:
 		// Pre-transactional writeback: refresh the LLC copy immediately,
 		// even while busy — it is response-class traffic and the owner is
 		// unchanged.
 		b.fillLLC(m.Line, nil)
+		b.sys.free(m)
 	case MsgOwnerData, MsgNack, MsgRejectFwd:
 		b.ownerReply(m)
+		b.sys.free(m)
 	case MsgInvAck, MsgInvReject:
 		b.invReply(m)
+		b.sys.free(m)
 	case MsgUnblock:
 		b.unblock(m)
+		b.sys.free(m)
 	case MsgHLApply, MsgHLRelease, MsgSigAdd:
 		b.arbiterMsg(m)
+		b.sys.free(m)
 	default:
 		panic(fmt.Sprintf("coherence: bank %d cannot handle %v", b.id, m.Type))
 	}
@@ -148,15 +190,15 @@ func (b *Bank) service(d *dirLine, m *Msg) {
 				b.sys.Tracer.Emitf(b.id, trace.CatHTMLock, m.Line, "LLC signature reject for c%d", m.Requester)
 			}
 			b.sys.Arbiter.NoteRejected(m.Requester)
-			b.sys.Engine.After(b.sys.DirLatency, func() {
-				b.send(&Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
-					Requester: m.Requester, RejectorMode: b.sys.Arbiter.HolderMode()})
-			})
+			b.sendAfter(b.sys.DirLatency, Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
+				Requester: m.Requester, RejectorMode: b.sys.Arbiter.HolderMode()})
+			b.sys.free(m)
 			return
 		}
 	}
 	d.busy = true
-	d.pend = &pending{req: m}
+	d.pend = b.newPending()
+	d.pend.req = m // ownership moves to the pending slot
 	b.ensureLLC(m.Line, func() { b.serviceWithData(d, m) })
 }
 
@@ -175,7 +217,7 @@ func (b *Bank) serviceWithData(d *dirLine, m *Msg) {
 		for c := 0; c < b.sys.Cores; c++ {
 			if c != m.Requester && d.isSharer(c) {
 				n++
-				b.send(&Msg{Type: MsgInv, Line: m.Line, Dst: c,
+				b.send(Msg{Type: MsgInv, Line: m.Line, Dst: c,
 					Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
 			}
 		}
@@ -195,7 +237,7 @@ func (b *Bank) serviceWithData(d *dirLine, m *Msg) {
 		if m.Type == MsgGetM {
 			fwd = MsgFwdGetM
 		}
-		b.send(&Msg{Type: fwd, Line: m.Line, Dst: d.owner,
+		b.send(Msg{Type: fwd, Line: m.Line, Dst: d.owner,
 			Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode,
 			Write: m.Type == MsgGetM})
 	}
@@ -205,9 +247,7 @@ func (b *Bank) serviceWithData(d *dirLine, m *Msg) {
 // LLC access latency. The directory stays busy until the unblock arrives.
 func (b *Bank) sendData(d *dirLine, t MsgType) {
 	m := d.pend.req
-	b.sys.Engine.After(b.sys.LLCHit, func() {
-		b.send(&Msg{Type: t, Line: m.Line, Dst: m.Src, Requester: m.Requester})
-	})
+	b.sendAfter(b.sys.LLCHit, Msg{Type: t, Line: m.Line, Dst: m.Src, Requester: m.Requester})
 }
 
 // reject closes a pending request with a reject response (the recovery
@@ -215,15 +255,21 @@ func (b *Bank) sendData(d *dirLine, t MsgType) {
 func (b *Bank) reject(d *dirLine, mode htm.Mode) {
 	m := d.pend.req
 	b.Rejections++
-	b.sys.Engine.After(b.sys.DirLatency, func() {
-		b.send(&Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
-			Requester: m.Requester, RejectorMode: mode})
-	})
+	b.sendAfter(b.sys.DirLatency, Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
+		Requester: m.Requester, RejectorMode: mode})
 	b.reopen(d)
 }
 
-// reopen clears the busy state and dispatches the next queued request.
+// reopen clears the busy state, recycles the serviced request (its last
+// read — the data/reject response — was materialized eagerly), and
+// dispatches the next queued request.
 func (b *Bank) reopen(d *dirLine) {
+	if d.pend != nil {
+		if d.pend.req != nil {
+			b.sys.free(d.pend.req)
+		}
+		b.freePending(d.pend)
+	}
 	d.busy = false
 	d.pend = nil
 	b.drainQueue(d)
@@ -238,6 +284,7 @@ func (b *Bank) drainQueue(d *dirLine) {
 			b.service(d, m)
 		case MsgPutM, MsgPutE:
 			b.handlePut(d, m)
+			b.sys.free(m)
 		default:
 			panic(fmt.Sprintf("coherence: queued %v", m.Type))
 		}
@@ -368,17 +415,13 @@ func (b *Bank) arbiterMsg(m *Msg) {
 			if a.ApplySTL(core) {
 				t = MsgHLGrant
 			}
-			b.sys.Engine.After(b.sys.DirLatency, func() {
-				b.send(&Msg{Type: t, Dst: core, Requester: core})
-			})
+			b.sendAfter(b.sys.DirLatency, Msg{Type: t, Dst: core, Requester: core})
 			return
 		}
 		// TL application: the caller holds the fallback lock; it may still
 		// have to wait out an active STL transaction.
 		a.ApplyTL(core, func() {
-			b.sys.Engine.After(b.sys.DirLatency, func() {
-				b.send(&Msg{Type: MsgHLGrant, Dst: core, Requester: core})
-			})
+			b.sendAfter(b.sys.DirLatency, Msg{Type: MsgHLGrant, Dst: core, Requester: core})
 		})
 	case MsgHLRelease:
 		a.Release(core)
@@ -496,10 +539,12 @@ func (b *Bank) backInvalidate(l mem.Line, cont func()) {
 		return
 	}
 	d.busy = true
-	d.pend = &pending{evictAcks: n, evictCont: cont}
+	d.pend = b.newPending()
+	d.pend.evictAcks = n
+	d.pend.evictCont = cont
 	for c := 0; c < b.sys.Cores; c++ {
 		if targets&(1<<uint(c)) != 0 {
-			b.send(&Msg{Type: MsgInv, Line: l, Dst: c, Requester: -1, ReqMode: htm.NonTx})
+			b.send(Msg{Type: MsgInv, Line: l, Dst: c, Requester: -1, ReqMode: htm.NonTx})
 		}
 	}
 }
@@ -517,11 +562,12 @@ func (b *Bank) evictReply(d *dirLine, m *Msg) {
 	}
 	cont := d.pend.evictCont
 	queue := d.queue
+	b.freePending(d.pend)
 	delete(b.dir, m.Line)
 	cont()
-	// Requests that queued behind the eviction restart from scratch.
+	// Requests that queued behind the eviction restart from scratch; each
+	// queued message's ownership moves to its re-dispatch event.
 	for _, q := range queue {
-		q := q
-		b.sys.Engine.After(1, func() { b.Receive(q) })
+		b.sys.Engine.AfterEvent(1, b, evBankReceive, 0, q)
 	}
 }

@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/htm"
@@ -37,7 +38,8 @@ type mshr struct {
 	state   mshrState
 	done    func()
 	waiters []func()
-	parkSeq uint64 // invalidates stale park timeouts
+	parkSeq uint64 // invalidates stale park timeouts; monotonic across reuse
+	freed   bool   // on the free list; guards against double frees
 }
 
 // L1 is a private L1 cache controller with best-effort HTM support and the
@@ -55,6 +57,10 @@ type L1 struct {
 	epoch  uint64 // bumped on every abort; stale callbacks are dropped
 
 	mshrs map[mem.Line]*mshr
+	// mshrScratch is reused by sortedMshrs (deterministic iteration);
+	// mshrFree recycles resolved MSHRs (one is allocated per miss).
+	mshrScratch []*mshr
+	mshrFree    []*mshr
 
 	// applyingHLA state (switchingMode, paper Fig. 6): while an HLApply is
 	// outstanding, external requests are blocked and queued.
@@ -112,9 +118,18 @@ func (l1 *L1) ParkedRequests() int {
 	return n
 }
 
-func (l1 *L1) send(m *Msg) {
-	m.Src = l1.core
-	l1.sys.route(m)
+// send routes a message from this L1 through the System's message pool.
+func (l1 *L1) send(v Msg) {
+	v.Src = l1.core
+	l1.sys.send(v)
+}
+
+// sendAfter routes a message d cycles from now. The message is materialized
+// eagerly so it never reads protocol state (or a recycled request) at fire
+// time.
+func (l1 *L1) sendAfter(d uint64, v Msg) {
+	v.Src = l1.core
+	l1.sys.sendAfter(d, v)
 }
 
 // guard wraps a CPU continuation so it fires only if no abort intervened.
@@ -134,8 +149,11 @@ func (l1 *L1) tracking() bool { return l1.Tx.InTx() }
 // done runs when the access completes; it is dropped if the transaction
 // aborts first. The L1 resolves mode (plain / HTM / TL / STL) from the
 // shared TxState.
+//
+// The dominant hit path is allocation-free: completion is a typed engine
+// event carrying the access-time epoch, so no guard closure is built. Miss
+// paths wrap done in an epoch guard as before (one closure per miss).
 func (l1 *L1) Access(line mem.Line, write bool, done func()) {
-	gdone := l1.guard(done)
 	if m, ok := l1.mshrs[line]; ok {
 		// A request for this line is already outstanding (e.g. issued by a
 		// previous, aborted attempt). Re-dispatch when it resolves.
@@ -151,13 +169,13 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 	if e != nil && e.State.Valid() {
 		if !write || e.State == cache.Exclusive || e.State == cache.Modified {
 			l1.Hits++
-			l1.hit(e, write, gdone)
+			l1.hit(e, write, done)
 			return
 		}
 		// Store to a Shared line: upgrade.
 		l1.Misses++
 		e.State = cache.StoM
-		l1.issue(line, true, gdone)
+		l1.issue(line, true, l1.guard(done))
 		return
 	}
 	if e != nil {
@@ -167,15 +185,45 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 		// Three-level: middle-cache hit; promote into the L1.
 		l1.Misses++
 		l1.MidHits++
+		gdone := l1.guard(done)
 		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, gdone) })
 		return
 	}
 	l1.Misses++
-	l1.allocateAndIssue(line, write, gdone)
+	l1.allocateAndIssue(line, write, l1.guard(done))
 }
 
-// hit completes an access that hit in the L1.
-func (l1 *L1) hit(e *cache.Entry, write bool, gdone func()) {
+// Typed-event kinds handled by L1.OnEvent.
+const (
+	evL1Done     uint8 = iota // a = epoch at access time, p = completion func
+	evL1MshrDone              // p = *mshr whose done callback and waiters run
+)
+
+// OnEvent implements sim.Handler for the L1's allocation-free completions.
+func (l1 *L1) OnEvent(kind uint8, a uint64, p any) {
+	switch kind {
+	case evL1Done:
+		if a != l1.epoch {
+			return // the requesting attempt aborted; drop the completion
+		}
+		if fn, ok := p.(func()); ok && fn != nil {
+			fn()
+		}
+	case evL1MshrDone:
+		ms := p.(*mshr)
+		if ms.done != nil {
+			ms.done() // epoch-guarded by the closure itself
+		}
+		for _, w := range ms.waiters {
+			w()
+		}
+		l1.freeMshr(ms) // already deleted from l1.mshrs by fill/fillFromLocal
+	}
+}
+
+// hit completes an access that hit in the L1. done may be unguarded: the
+// completion event carries the current epoch and is dropped on mismatch.
+func (l1 *L1) hit(e *cache.Entry, write bool, done func()) {
 	tx := l1.tracking()
 	if write {
 		if tx && l1.Tx.Mode == htm.HTM && e.Dirty && !e.TxWrite {
@@ -183,7 +231,7 @@ func (l1 *L1) hit(e *cache.Entry, write bool, gdone func()) {
 			// must reach the LLC before the line joins the write set, so an
 			// abort (which drops the line) cannot lose it.
 			l1.TxWBs++
-			l1.send(&Msg{Type: MsgTxWB, Line: e.Line, Dst: l1.sys.HomeBank(e.Line), Requester: l1.core})
+			l1.send(Msg{Type: MsgTxWB, Line: e.Line, Dst: l1.sys.HomeBank(e.Line), Requester: l1.core})
 		}
 		if e.State == cache.Exclusive {
 			e.State = cache.Modified
@@ -197,7 +245,7 @@ func (l1 *L1) hit(e *cache.Entry, write bool, gdone func()) {
 		e.TxRead = true
 		l1.Tx.ReadLines++
 	}
-	l1.sys.Engine.After(l1.sys.L1Hit, gdone)
+	l1.sys.Engine.AfterEvent(l1.sys.L1Hit, l1, evL1Done, l1.epoch, done)
 }
 
 // allocateAndIssue finds a way for the missing line — possibly triggering
@@ -271,7 +319,7 @@ func (l1 *L1) spillToSignature(v *cache.Entry) {
 		l1.sys.Tracer.Emitf(l1.core, trace.CatHTMLock, v.Line, "signature spill r=%v w=%v", v.TxRead, v.TxWrite)
 	}
 	l1.sys.Arbiter.RecordOverflow(l1.core, v.Line, v.TxRead, v.TxWrite)
-	l1.send(&Msg{Type: MsgSigAdd, Line: v.Line, Dst: l1.sys.ArbiterTile,
+	l1.send(Msg{Type: MsgSigAdd, Line: v.Line, Dst: l1.sys.ArbiterTile,
 		Requester: l1.core, Write: v.TxWrite})
 	l1.evictLine(v)
 }
@@ -287,9 +335,9 @@ func (l1 *L1) evict(v *cache.Entry) {
 func (l1 *L1) evictLine(v *cache.Entry) {
 	switch v.State {
 	case cache.Modified:
-		l1.send(&Msg{Type: MsgPutM, Line: v.Line, Dst: l1.sys.HomeBank(v.Line), Requester: l1.core})
+		l1.send(Msg{Type: MsgPutM, Line: v.Line, Dst: l1.sys.HomeBank(v.Line), Requester: l1.core})
 	case cache.Exclusive:
-		l1.send(&Msg{Type: MsgPutE, Line: v.Line, Dst: l1.sys.HomeBank(v.Line), Requester: l1.core})
+		l1.send(Msg{Type: MsgPutE, Line: v.Line, Dst: l1.sys.HomeBank(v.Line), Requester: l1.core})
 	case cache.Shared:
 		// Silent drop; the directory tolerates stale sharers.
 	default:
@@ -301,10 +349,41 @@ func (l1 *L1) evictLine(v *cache.Entry) {
 	v.TxWrite = false
 }
 
+// newMshr returns a reset MSHR from the free list. parkSeq survives reuse
+// so a park timeout captured against a previous incarnation can never match
+// a future parking of the recycled entry.
+func (l1 *L1) newMshr() *mshr {
+	if n := len(l1.mshrFree); n > 0 {
+		m := l1.mshrFree[n-1]
+		l1.mshrFree = l1.mshrFree[:n-1]
+		seq, w := m.parkSeq, m.waiters[:0]
+		*m = mshr{parkSeq: seq, waiters: w}
+		return m
+	}
+	return new(mshr)
+}
+
+// freeMshr recycles an MSHR. Callers must have removed it from l1.mshrs and
+// run (or dropped) its done callback and waiters first; stale park timeouts
+// are defused by the identity + parkSeq checks.
+func (l1 *L1) freeMshr(ms *mshr) {
+	if ms.freed {
+		panic(fmt.Sprintf("coherence: L1 %d double free of MSHR for line %d", l1.core, ms.line))
+	}
+	ms.freed = true
+	ms.done = nil
+	for i := range ms.waiters {
+		ms.waiters[i] = nil // drop closure references; capacity is reused
+	}
+	ms.waiters = ms.waiters[:0]
+	l1.mshrFree = append(l1.mshrFree, ms)
+}
+
 // issue creates the MSHR and sends the coherence request with the current
 // priority piggybacked (the recovery mechanism's user-defined data).
 func (l1 *L1) issue(line mem.Line, write bool, gdone func()) {
-	m := &mshr{line: line, write: write, txBits: l1.tracking(), epoch: l1.epoch, done: gdone}
+	m := l1.newMshr()
+	m.line, m.write, m.txBits, m.epoch, m.done = line, write, l1.tracking(), l1.epoch, gdone
 	l1.mshrs[line] = m
 	l1.sendReq(m)
 }
@@ -317,38 +396,47 @@ func (l1 *L1) sendReq(m *mshr) {
 	if l1.sys.Tracer.Enabled(trace.CatProto) {
 		l1.sys.Tracer.Emitf(l1.core, trace.CatProto, m.line, "%v prio=%d mode=%v", t, l1.Tx.Priority(), l1.Tx.Mode)
 	}
-	l1.send(&Msg{Type: t, Line: m.line, Dst: l1.sys.HomeBank(m.line),
+	l1.send(Msg{Type: t, Line: m.line, Dst: l1.sys.HomeBank(m.line),
 		Requester: l1.core, Prio: l1.Tx.Priority(), ReqMode: l1.Tx.Mode})
 }
 
-// Receive is the L1's message input.
+// Receive is the L1's message input. It owns m: each arm either recycles
+// the message or stores it (the applyingHLA queue), after which the drain
+// loop re-enters Receive and the normal rules apply.
 func (l1 *L1) Receive(m *Msg) {
 	switch m.Type {
 	case MsgDataS, MsgDataE:
 		l1.fill(m)
+		l1.sys.free(m)
 	case MsgReject:
 		l1.rejected(m)
+		l1.sys.free(m)
 	case MsgFwdGetS, MsgFwdGetM:
 		if l1.applying {
-			l1.blockedExt = append(l1.blockedExt, m)
+			l1.blockedExt = append(l1.blockedExt, m) // ownership moves to the queue
 			return
 		}
 		l1.forwarded(m)
+		l1.sys.free(m)
 	case MsgInv:
 		if l1.applying {
 			l1.blockedExt = append(l1.blockedExt, m)
 			return
 		}
 		l1.invalidated(m)
+		l1.sys.free(m)
 	case MsgWakeUp:
 		l1.wakeParked()
+		l1.sys.free(m)
 	case MsgHLGrant, MsgHLDeny:
 		if l1.applyCont == nil {
 			panic(fmt.Sprintf("coherence: L1 %d stray %v", l1.core, m.Type))
 		}
 		cont := l1.applyCont
 		l1.applyCont = nil
-		cont(m.Type == MsgHLGrant)
+		granted := m.Type == MsgHLGrant
+		l1.sys.free(m)
+		cont(granted)
 	default:
 		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l1.core, m.Type))
 	}
@@ -390,16 +478,9 @@ func (l1 *L1) fill(m *Msg) {
 			l1.Tx.ReadLines++
 		}
 	}
-	l1.send(&Msg{Type: MsgUnblock, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+	l1.send(Msg{Type: MsgUnblock, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
 		Requester: l1.core, Excl: excl})
-	l1.sys.Engine.After(l1.sys.L1Hit, func() {
-		if ms.done != nil {
-			ms.done()
-		}
-		for _, w := range ms.waiters {
-			w()
-		}
-	})
+	l1.sys.Engine.AfterEvent(l1.sys.L1Hit, l1, evL1MshrDone, 0, ms)
 }
 
 // rejected handles a withdrawn request (recovery mechanism / signature
@@ -475,12 +556,27 @@ func (l1 *L1) park(ms *mshr, timeout uint64) {
 }
 
 // wakeParked retries every parked request (wake-up message received).
+// Iteration is in line order: Go map order is randomized, and the retry
+// order assigns event sequence numbers, so it must be deterministic.
 func (l1 *L1) wakeParked() {
-	for _, ms := range l1.mshrs {
+	for _, ms := range l1.sortedMshrs() {
 		if ms.state == mshrParked {
 			l1.retry(ms)
 		}
 	}
+}
+
+// sortedMshrs returns the MSHRs in ascending line order, reusing a scratch
+// slice so steady-state iteration does not allocate.
+func (l1 *L1) sortedMshrs() []*mshr {
+	l1.mshrScratch = l1.mshrScratch[:0]
+	for _, ms := range l1.mshrs {
+		l1.mshrScratch = append(l1.mshrScratch, ms)
+	}
+	sort.Slice(l1.mshrScratch, func(i, j int) bool {
+		return l1.mshrScratch[i].line < l1.mshrScratch[j].line
+	})
+	return l1.mshrScratch
 }
 
 // retry re-sends a parked request. The array entry was restored on reject,
@@ -507,19 +603,26 @@ func (l1 *L1) retry(ms *mshr) {
 	// Re-allocate a way; the set may have changed since the reject.
 	if me := l1.midLookup(ms.line); me != nil && me.State.Valid() {
 		delete(l1.mshrs, ms.line)
-		waiters := ms.waiters
-		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, ms.write, ms.done) })
-		for _, w := range waiters {
+		write, done := ms.write, ms.done // the MSHR is recycled before the promote fires
+		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, done) })
+		for _, w := range ms.waiters {
 			w()
 		}
+		l1.freeMshr(ms)
 		return
 	}
 	v := l1.allocateWay(ms.line, ms.write, ms.done)
 	if v == nil {
-		delete(l1.mshrs, ms.line)
+		// Diverted to the overflow machinery, which may have synchronously
+		// issued a fresh MSHR for the same line (lock-mode signature spill):
+		// only drop the map entry if it is still ours.
+		if l1.mshrs[ms.line] == ms {
+			delete(l1.mshrs, ms.line)
+		}
 		for _, w := range ms.waiters {
 			w()
 		}
+		l1.freeMshr(ms)
 		return
 	}
 	st := cache.ItoS
@@ -549,14 +652,7 @@ func (l1 *L1) fillFromLocal(ms *mshr, e *cache.Entry) {
 			l1.Tx.ReadLines++
 		}
 	}
-	l1.sys.Engine.After(l1.sys.L1Hit, func() {
-		if ms.done != nil {
-			ms.done()
-		}
-		for _, w := range ms.waiters {
-			w()
-		}
-	})
+	l1.sys.Engine.AfterEvent(l1.sys.L1Hit, l1, evL1MshrDone, 0, ms)
 }
 
 // resolveParked drops a dead MSHR, re-dispatching any waiters.
@@ -565,6 +661,7 @@ func (l1 *L1) resolveParked(ms *mshr) {
 	for _, w := range ms.waiters {
 		w()
 	}
+	l1.freeMshr(ms)
 }
 
 // forwarded handles FwdGetS/FwdGetM: the conflict-detection and resolution
@@ -580,7 +677,7 @@ func (l1 *L1) forwarded(m *Msg) {
 			// race): tell the directory to serve from the LLC and move
 			// ownership — the NACK flow of Fig. 3.
 			l1.NacksSent++
-			l1.send(&Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+			l1.send(Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
 			return
 		}
 	}
@@ -593,10 +690,8 @@ func (l1 *L1) forwarded(m *Msg) {
 				l1.sys.Tracer.Emitf(l1.core, trace.CatConflict, m.Line,
 					"reject %v from c%d (own prio %d vs %d)", m.Type, m.Requester, l1.Tx.Priority(), m.Prio)
 			}
-			l1.sys.Engine.After(l1.arbDelay(), func() {
-				l1.send(&Msg{Type: MsgRejectFwd, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-					Requester: m.Requester, RejectorMode: l1.Tx.Mode})
-			})
+			l1.sendAfter(l1.arbDelay(), Msg{Type: MsgRejectFwd, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+				Requester: m.Requester, RejectorMode: l1.Tx.Mode})
 			return
 		}
 		// Requester-win: abort and NACK so the directory hands the
@@ -612,12 +707,15 @@ func (l1 *L1) forwarded(m *Msg) {
 			e.TxWrite = false
 		}
 		l1.NacksSent++
-		l1.send(&Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+		l1.send(Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
 		return
 	}
-	// No conflict: ordinary ownership transfer / downgrade.
+	// No conflict: ordinary ownership transfer / downgrade. The deferred
+	// flush path below runs after m is recycled, so it captures the fields
+	// it needs rather than the message.
+	line, req, getS := m.Line, m.Requester, m.Type == MsgFwdGetS
 	respond := func(e *cache.Entry) {
-		if m.Type == MsgFwdGetS {
+		if getS {
 			e.State = cache.Shared
 			e.Dirty = false
 		} else {
@@ -628,7 +726,7 @@ func (l1 *L1) forwarded(m *Msg) {
 				panic("coherence: non-conflicting FwdGetM over a transactional line")
 			}
 		}
-		l1.send(&Msg{Type: MsgOwnerData, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+		l1.send(Msg{Type: MsgOwnerData, Line: line, Dst: l1.sys.HomeBank(line), Requester: req})
 	}
 	if inL1 && l1.midEnabled() {
 		// The three-level odd design: flush the line from the L1 to the
@@ -638,7 +736,7 @@ func (l1 *L1) forwarded(m *Msg) {
 			if !e.State.Valid() {
 				// The line moved while the flush was in flight (abort).
 				l1.NacksSent++
-				l1.send(&Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+				l1.send(Msg{Type: MsgNack, Line: line, Dst: l1.sys.HomeBank(line), Requester: req})
 				return
 			}
 			if me := l1.midFlushForForward(e); me != nil {
@@ -657,7 +755,7 @@ func (l1 *L1) forwarded(m *Msg) {
 func (l1 *L1) invalidated(m *Msg) {
 	e := l1.arr.Peek(m.Line)
 	ack := func() {
-		l1.send(&Msg{Type: MsgInvAck, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+		l1.send(Msg{Type: MsgInvAck, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
 	}
 	if e == nil || (!e.State.Valid() && e.State != cache.StoM) {
 		if me := l1.midLookup(m.Line); me != nil && me.State.Valid() {
@@ -688,10 +786,8 @@ func (l1 *L1) invalidated(m *Msg) {
 		if l1.ownerWins(m) {
 			l1.RejectsSent++
 			l1.noteRejected(m)
-			l1.sys.Engine.After(l1.arbDelay(), func() {
-				l1.send(&Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-					Requester: m.Requester, RejectorMode: l1.Tx.Mode})
-			})
+			l1.sendAfter(l1.arbDelay(), Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+				Requester: m.Requester, RejectorMode: l1.Tx.Mode})
 			return
 		}
 		l1.abortTx(l1.victimCause(m))
@@ -773,7 +869,7 @@ func (l1 *L1) noteRejected(m *Msg) {
 func (l1 *L1) sendWakes() {
 	l1.wake.Drain(func(core int) {
 		l1.WakesSent++
-		l1.send(&Msg{Type: MsgWakeUp, Dst: core})
+		l1.send(Msg{Type: MsgWakeUp, Dst: core})
 	})
 }
 
@@ -796,7 +892,7 @@ func (l1 *L1) abortTx(cause htm.AbortCause) {
 	l1.epoch++
 	l1.arr.ClearTx(true)
 	l1.midClearTx(true)
-	for _, ms := range l1.mshrs {
+	for _, ms := range l1.sortedMshrs() {
 		if ms.state == mshrParked {
 			l1.resolveParked(ms)
 		}
@@ -848,7 +944,7 @@ func (l1 *L1) trySwitch(retry func()) {
 			// The transaction died while applying (e.g. a rejected request
 			// self-aborted). Give back a granted authorization.
 			if granted {
-				l1.send(&Msg{Type: MsgHLRelease, Dst: l1.sys.ArbiterTile, Requester: l1.core})
+				l1.send(Msg{Type: MsgHLRelease, Dst: l1.sys.ArbiterTile, Requester: l1.core})
 			}
 		case granted:
 			l1.SwitchGrants++
@@ -867,7 +963,7 @@ func (l1 *L1) trySwitch(retry func()) {
 			l1.Receive(b)
 		}
 	}
-	l1.send(&Msg{Type: MsgHLApply, Dst: l1.sys.ArbiterTile, Requester: l1.core, ReqMode: htm.STL})
+	l1.send(Msg{Type: MsgHLApply, Dst: l1.sys.ArbiterTile, Requester: l1.core, ReqMode: htm.STL})
 }
 
 // HLBegin enters HTMLock (TL) mode: the caller already holds the fallback
@@ -886,7 +982,7 @@ func (l1 *L1) HLBegin(done func()) {
 		}
 		done()
 	}
-	l1.send(&Msg{Type: MsgHLApply, Dst: l1.sys.ArbiterTile, Requester: l1.core, ReqMode: htm.TL})
+	l1.send(Msg{Type: MsgHLApply, Dst: l1.sys.ArbiterTile, Requester: l1.core, ReqMode: htm.TL})
 }
 
 // HLEnd leaves HTMLock mode (hlend): transactional metadata is cleared
@@ -905,6 +1001,6 @@ func (l1 *L1) HLEnd() {
 	l1.midClearTx(false)
 	l1.Tx.Mode = htm.NonTx
 	l1.sendWakes()
-	l1.send(&Msg{Type: MsgHLRelease, Dst: l1.sys.ArbiterTile, Requester: l1.core})
+	l1.send(Msg{Type: MsgHLRelease, Dst: l1.sys.ArbiterTile, Requester: l1.core})
 	l1.sys.Engine.Progress()
 }

@@ -123,6 +123,10 @@ type Msg struct {
 	// exclusive state (E/M) rather than S, and on MsgSigAdd whether the
 	// line was in the read set (Write==false) or write set (Write==true).
 	Excl bool
+	// recycled marks a message sitting on the System free list; set by
+	// System.free and cleared when the allocation site overwrites the
+	// struct. Guards against double frees.
+	recycled bool
 }
 
 // CauseFor maps the mode of a winning requester (or rejector) to the abort

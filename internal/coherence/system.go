@@ -74,6 +74,12 @@ type System struct {
 	// LockLine is the fallback lock's cache line, used to classify
 	// subscription aborts as mutex-caused.
 	LockLine mem.Line
+
+	// msgFree is the protocol-message free list. The engine is single-
+	// threaded, so no locking: a message is allocated when sent, handed
+	// through the NoC as a typed event payload, and recycled by its final
+	// consumer (see the ownership rules on alloc).
+	msgFree []*Msg
 }
 
 // NewSystem builds the memory subsystem for the given machine and HTM
@@ -93,7 +99,7 @@ func NewSystem(engine *sim.Engine, p Params, hc htm.Config) *System {
 	if hc.HTMLock {
 		sys.Arbiter = htm.NewArbiter(hc.SignatureBits)
 		sys.Arbiter.SendWake = func(core int) {
-			sys.route(&Msg{Type: MsgWakeUp, Src: sys.ArbiterTile, Dst: core})
+			sys.send(Msg{Type: MsgWakeUp, Src: sys.ArbiterTile, Dst: core})
 		}
 	}
 	bankSize := p.LLCSize / p.Cores
@@ -109,18 +115,73 @@ func NewSystem(engine *sim.Engine, p Params, hc htm.Config) *System {
 // HomeBank returns the bank id a line maps to under line interleaving.
 func (s *System) HomeBank(l mem.Line) int { return l.Bank(s.Cores) }
 
+// Typed-event kinds handled by System.OnEvent.
+const (
+	evDeliver uint8 = iota // p = *Msg: the NoC delivered it; hand to the consumer
+	evSend                 // p = *Msg: a delayed send matured; route it now
+)
+
+// OnEvent implements sim.Handler for NoC deliveries and delayed sends.
+func (s *System) OnEvent(kind uint8, _ uint64, p any) {
+	switch kind {
+	case evDeliver:
+		m := p.(*Msg)
+		if m.toBank() {
+			s.Banks[m.Dst].Receive(m)
+		} else {
+			s.L1s[m.Dst].Receive(m)
+		}
+	case evSend:
+		s.route(p.(*Msg))
+	}
+}
+
+// alloc returns a recycled (or fresh) message. Ownership rules: whoever is
+// handed a *Msg owns it and must either store it (directory queue, MSHR
+// park list, pending-request slot — ownership moves to the store) or free
+// it when done. Deferred work must never read a message after its owner
+// freed it; delayed responses are therefore constructed eagerly and
+// scheduled as evSend payloads.
+func (s *System) alloc() *Msg {
+	if n := len(s.msgFree); n > 0 {
+		m := s.msgFree[n-1]
+		s.msgFree = s.msgFree[:n-1]
+		return m
+	}
+	return new(Msg)
+}
+
+// free recycles a consumed message. Double frees corrupt simulations
+// silently, so they are checked and fatal.
+func (s *System) free(m *Msg) {
+	if m.recycled {
+		panic(fmt.Sprintf("coherence: double free of %v for line %d", m.Type, m.Line))
+	}
+	m.recycled = true
+	s.msgFree = append(s.msgFree, m)
+}
+
+// send routes a fully-formed message value through a pooled allocation.
+func (s *System) send(v Msg) {
+	m := s.alloc()
+	*m = v
+	s.route(m)
+}
+
+// sendAfter routes v after d cycles (directory decision and LLC access
+// latencies). The message is materialized now so the caller's request
+// message can be recycled immediately.
+func (s *System) sendAfter(d uint64, v Msg) {
+	m := s.alloc()
+	*m = v
+	s.Engine.AfterEvent(d, s, evSend, 0, m)
+}
+
 // route delivers a message over the NoC. Requests, forwards, data, and
 // responses are addressed by tile; whether the L1 or the bank consumes the
 // message is determined by its type.
 func (s *System) route(m *Msg) {
-	dst := m.Dst
-	s.Net.Send(m.Src, dst, m.Type.Flits(), func() {
-		if m.toBank() {
-			s.Banks[dst].Receive(m)
-		} else {
-			s.L1s[dst].Receive(m)
-		}
-	})
+	s.Net.SendEvent(m.Src, m.Dst, m.Type.Flits(), s, evDeliver, 0, m)
 }
 
 // toBank reports whether the message type is consumed by a directory bank.

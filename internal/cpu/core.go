@@ -28,12 +28,47 @@ type Core struct {
 	// staged holds this attempt's speculative functional counter updates,
 	// applied when the section completes and discarded on abort.
 	staged map[memLine]uint64
+	// resume is the continuation of the one in-flight compute/fault delay
+	// or memory access: the core is in-order, so per live token at most one
+	// such continuation is ever pending, and stale events are filtered by
+	// their token.
+	resume struct {
+		ops  []Op
+		i    int
+		tok  uint64
+		done func()
+	}
+	// contFn is the prebound memory-access completion (accessDone), built
+	// once so the per-op Access call allocates no closure.
+	contFn func()
+}
+
+// Typed-event kinds handled by Core.OnEvent. Each event carries the token
+// of the attempt that scheduled it; a mismatch means the attempt aborted.
+const (
+	evResume  uint8 = iota // continue runOps from c.resume
+	evRestart              // restart the current section's attempt
+)
+
+// OnEvent implements sim.Handler for the core's allocation-free delays.
+func (c *Core) OnEvent(kind uint8, a uint64, _ any) {
+	if a != c.token {
+		return
+	}
+	switch kind {
+	case evResume:
+		r := c.resume
+		c.runOps(r.ops, r.i, a, r.done)
+	case evRestart:
+		c.startAttempt(c.prog[c.secIdx])
+	}
 }
 
 type memLine = mem.Line
 
 func newCore(m *Machine, id int, prog Program, st *stats.Core, rng *sim.RNG) *Core {
 	c := &Core{m: m, id: id, prog: prog, st: st, rng: rng}
+	c.contFn = c.accessDone
 	m.Sys.L1s[id].SetClient(c)
 	return c
 }
@@ -86,6 +121,10 @@ func (c *Core) advance() {
 
 // runOps executes ops[i:] sequentially, honoring the current mode's
 // semantics, then calls done. tok guards continuations against aborts.
+//
+// Compute and fault delays resume through a typed engine event (the state
+// lives in c.resume), so the hot instruction-advance path allocates
+// nothing; only memory ops build a completion closure.
 func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
 	if tok != c.token {
 		return
@@ -95,25 +134,15 @@ func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
 		return
 	}
 	op := ops[i]
-	next := func() {
-		if tok != c.token {
-			return
-		}
-		c.tx().InstsRetired++
-		c.runOps(ops, i+1, tok, done)
-	}
 	switch op.Kind {
 	case OpCompute:
 		c.tx().InstsRetired += op.N
-		c.engine().After(op.N, func() {
-			if tok == c.token {
-				c.runOps(ops, i+1, tok, done)
-			}
-		})
+		c.resume.ops, c.resume.i, c.resume.done = ops, i+1, done
+		c.engine().AfterEvent(op.N, c, evResume, tok, nil)
 	case OpRead:
-		c.m.Sys.L1s[c.id].Access(op.Line, false, next)
+		c.accessOp(ops, i, tok, false, done)
 	case OpWrite:
-		c.m.Sys.L1s[c.id].Access(op.Line, true, next)
+		c.accessOp(ops, i, tok, true, done)
 	case OpRMW:
 		// Functional atomic increment: load, stage new value, store. The
 		// staged value becomes visible only when the section commits.
@@ -145,14 +174,31 @@ func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
 			c.m.Sys.L1s[c.id].AbortLocal(htm.CauseFault)
 			return
 		}
-		c.engine().After(c.m.Cfg.FaultPenalty, func() {
-			if tok == c.token {
-				c.runOps(ops, i+1, tok, done)
-			}
-		})
+		c.resume.ops, c.resume.i, c.resume.done = ops, i+1, done
+		c.engine().AfterEvent(c.m.Cfg.FaultPenalty, c, evResume, tok, nil)
 	default:
 		panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
 	}
+}
+
+// accessOp performs op i's load or store and steps to the next op when the
+// memory system completes it. The continuation state is parked in c.resume
+// and the L1 is handed the prebound accessDone, so the per-op path builds
+// no closure. This relies on the in-order pipeline: between issuing the
+// access and its completion the core runs nothing else that could overwrite
+// c.resume, and a completion surviving an abort is filtered by its token.
+func (c *Core) accessOp(ops []Op, i int, tok uint64, write bool, done func()) {
+	c.resume.ops, c.resume.i, c.resume.tok, c.resume.done = ops, i+1, tok, done
+	c.m.Sys.L1s[c.id].Access(ops[i].Line, write, c.contFn)
+}
+
+// accessDone is the shared completion continuation for accessOp.
+func (c *Core) accessDone() {
+	if c.resume.tok != c.token {
+		return
+	}
+	c.tx().InstsRetired++
+	c.runOps(c.resume.ops, c.resume.i, c.resume.tok, c.resume.done)
 }
 
 // --- CGL execution ---------------------------------------------------
@@ -278,9 +324,8 @@ func (c *Core) OnDoom(cause htm.AbortCause) {
 		// closer to the fallback path.
 		c.retries++
 	}
-	sec := c.prog[c.secIdx]
 	delay := c.m.Cfg.HTM.RollbackPenalty + c.backoff()
-	c.engine().After(delay, func() { c.startAttempt(sec) })
+	c.engine().AfterEvent(delay, c, evRestart, c.token, nil)
 }
 
 // backoff returns the randomized exponential post-abort delay.

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -136,37 +137,82 @@ type Runner struct {
 	// Log, when non-nil, receives one line per completed simulation.
 	Log func(string)
 
-	mu      sync.Mutex
-	results map[string]*stats.Run
-	errs    []error
+	// exec runs one spec; tests may replace it before first use. Defaults
+	// to Execute.
+	exec func(Spec) (*stats.Run, error)
+
+	mu       sync.Mutex
+	results  map[string]*stats.Run
+	inflight map[string]*call
+	errs     []error
+}
+
+// call tracks one in-flight execution so concurrent Gets of the same spec
+// share a single run (singleflight).
+type call struct {
+	done chan struct{}
+	res  *stats.Run
+	err  error
 }
 
 // NewRunner creates a runner with one worker per CPU.
 func NewRunner(seed uint64) *Runner {
-	return &Runner{Seed: seed, Workers: runtime.NumCPU(), results: make(map[string]*stats.Run)}
+	return &Runner{
+		Seed:     seed,
+		Workers:  runtime.NumCPU(),
+		results:  make(map[string]*stats.Run),
+		inflight: make(map[string]*call),
+	}
 }
 
-// Get runs (or returns the memoized result of) a single spec.
+func (r *Runner) execute(s Spec) (*stats.Run, error) {
+	if r.exec != nil {
+		return r.exec(s)
+	}
+	return Execute(s)
+}
+
+// Get runs (or returns the memoized result of) a single spec. Concurrent
+// calls for the same spec are coalesced: exactly one executes the
+// simulation, the rest block and share its result.
 func (r *Runner) Get(s Spec) (*stats.Run, error) {
 	s.Seed = r.Seed
+	k := s.key()
 	r.mu.Lock()
-	if res, ok := r.results[s.key()]; ok {
+	if res, ok := r.results[k]; ok {
 		r.mu.Unlock()
 		return res, nil
 	}
-	r.mu.Unlock()
-	res, err := Execute(s)
-	if err != nil {
-		return nil, err
+	if c, ok := r.inflight[k]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
-	r.mu.Lock()
-	r.results[s.key()] = res
+	c := &call{done: make(chan struct{})}
+	if r.inflight == nil {
+		r.inflight = make(map[string]*call)
+	}
+	r.inflight[k] = c
 	r.mu.Unlock()
-	return res, nil
+
+	res, err := r.execute(s)
+	if err != nil {
+		err = fmt.Errorf("harness: %s: %w", k, err)
+	}
+	c.res, c.err = res, err
+	r.mu.Lock()
+	if err == nil {
+		r.results[k] = res
+	}
+	delete(r.inflight, k)
+	r.mu.Unlock()
+	close(c.done)
+	return res, err
 }
 
-// RunAll executes all specs in parallel and returns the first error (if
-// any). Results are retrieved afterwards via Get (memoized).
+// RunAll executes all specs in parallel. Every failing spec contributes an
+// error (wrapped with its key) to the returned errors.Join aggregate;
+// successful results are retrieved afterwards via Get (memoized).
 func (r *Runner) RunAll(specs []Spec) error {
 	// Deduplicate up front so workers never race to run the same spec.
 	seen := make(map[string]bool)
@@ -194,15 +240,16 @@ func (r *Runner) RunAll(specs []Spec) error {
 		go func() {
 			defer wg.Done()
 			for s := range ch {
-				res, err := Execute(s)
-				r.mu.Lock()
+				// Get provides the memoization, key-wrapped errors, and
+				// singleflight coalescing with any concurrent direct callers.
+				res, err := r.Get(s)
 				if err != nil {
+					r.mu.Lock()
 					r.errs = append(r.errs, err)
-				} else {
-					r.results[s.key()] = res
+					r.mu.Unlock()
+					continue
 				}
-				r.mu.Unlock()
-				if r.Log != nil && err == nil {
+				if r.Log != nil {
 					r.Log(res.String())
 				}
 			}
@@ -215,10 +262,10 @@ func (r *Runner) RunAll(specs []Spec) error {
 	wg.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.errs) > 0 {
-		return r.errs[0]
-	}
-	return nil
+	// Join in sorted order so the aggregate message is deterministic even
+	// though workers finish in arbitrary order.
+	sort.Slice(r.errs, func(i, j int) bool { return r.errs[i].Error() < r.errs[j].Error() })
+	return errors.Join(r.errs...)
 }
 
 // Speedup returns CGL-cycles / system-cycles for the same workload, thread

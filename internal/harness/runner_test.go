@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestGetSingleflight launches many concurrent Gets for the same spec and
+// checks exactly one execution happens; the rest share its result.
+func TestGetSingleflight(t *testing.T) {
+	var executions atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r := NewRunner(1)
+	r.exec = func(Spec) (*stats.Run, error) {
+		executions.Add(1)
+		close(started)
+		<-release // hold the first caller inside Execute so the rest pile up
+		return &stats.Run{}, nil
+	}
+	spec := Spec{System: mustSystem("Baseline"), Workload: tinyProfile(), Threads: 2, Cache: TypicalCache()}
+
+	var wg sync.WaitGroup
+	results := make([]*stats.Run, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Get(spec)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = res
+		}(i)
+	}
+	<-started
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("spec executed %d times, want 1", n)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Gets returned distinct result objects")
+		}
+	}
+}
+
+// TestGetErrorNotMemoized checks a failed execution is retried by the next
+// Get rather than cached.
+func TestGetErrorNotMemoized(t *testing.T) {
+	var calls int
+	r := NewRunner(1)
+	r.exec = func(Spec) (*stats.Run, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return &stats.Run{}, nil
+	}
+	spec := Spec{System: mustSystem("Baseline"), Workload: tinyProfile(), Threads: 2, Cache: TypicalCache()}
+	if _, err := r.Get(spec); err == nil {
+		t.Fatal("first Get should fail")
+	} else if !strings.Contains(err.Error(), spec.keyWithSeed(r.Seed)) {
+		t.Fatalf("error %q does not name the failing spec", err)
+	}
+	if _, err := r.Get(spec); err != nil {
+		t.Fatalf("second Get should retry and succeed: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("executed %d times, want 2", calls)
+	}
+}
+
+// TestRunAllAggregatesErrors checks RunAll reports every failing spec (not
+// just the first) with its key, via errors.Join.
+func TestRunAllAggregatesErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	r := NewRunner(7)
+	r.Workers = 4
+	r.exec = func(s Spec) (*stats.Run, error) {
+		if s.Threads != 2 {
+			return nil, sentinel
+		}
+		return &stats.Run{}, nil
+	}
+	var specs []Spec
+	for _, th := range []int{2, 4, 8} {
+		specs = append(specs, Spec{System: mustSystem("Baseline"), Workload: tinyProfile(), Threads: th, Cache: TypicalCache()})
+	}
+	err := r.RunAll(specs)
+	if err == nil {
+		t.Fatal("RunAll should fail")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("aggregate %v does not wrap the cause", err)
+	}
+	for _, th := range []int{4, 8} {
+		s := specs[0]
+		s.Threads = th
+		if !strings.Contains(err.Error(), s.keyWithSeed(r.Seed)) {
+			t.Fatalf("aggregate %q missing failing spec %s", err, s.keyWithSeed(r.Seed))
+		}
+	}
+	// The successful spec must still be retrievable.
+	if _, err := r.Get(specs[0]); err != nil {
+		t.Fatalf("successful spec lost: %v", err)
+	}
+}
+
+// keyWithSeed is the key RunAll/Get stamp into error messages (the runner
+// overrides the spec's seed with its own).
+func (s Spec) keyWithSeed(seed uint64) string {
+	s.Seed = seed
+	return s.key()
+}

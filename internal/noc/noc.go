@@ -68,18 +68,30 @@ func (n *Network) Mesh() topology.Mesh { return n.mesh }
 // Send schedules deliver to run when a message of the given flit count
 // arrives at dst, reserving link bandwidth along the X-Y route.
 func (n *Network) Send(src, dst int, flits int, deliver func()) {
+	n.engine.At(n.arrival(src, dst, flits), deliver)
+}
+
+// SendEvent is the allocation-free variant of Send: instead of a delivery
+// closure it schedules a typed engine event (h.OnEvent(kind, a, p)) at the
+// arrival cycle. Hot protocol paths use it to deliver pooled messages
+// without a per-hop closure allocation.
+func (n *Network) SendEvent(src, dst, flits int, h sim.Handler, kind uint8, a uint64, p any) {
+	n.engine.AtEvent(n.arrival(src, dst, flits), h, kind, a, p)
+}
+
+// arrival reserves link bandwidth along the X-Y route and returns the
+// absolute cycle at which the message's tail flit reaches dst.
+func (n *Network) arrival(src, dst, flits int) uint64 {
 	n.Messages++
 	now := n.engine.Now()
 	if src == dst {
-		n.engine.After(maxU64(n.cfg.LocalLatency, 1), deliver)
-		return
+		return now + maxU64(n.cfg.LocalLatency, 1)
 	}
 	route := n.mesh.Route(src, dst)
 	n.FlitHops += uint64(flits * len(route))
 	if n.cfg.Perfect {
 		lat := uint64(len(route)) * (n.cfg.LinkLatency + n.cfg.RouterDelay)
-		n.engine.After(maxU64(lat, 1), deliver)
-		return
+		return now + maxU64(lat, 1)
 	}
 	// Head-flit arrival time threads through each link in order; the link
 	// is then occupied for the serialization time of the whole message.
@@ -91,8 +103,7 @@ func (n *Network) Send(src, dst int, flits int, deliver func()) {
 		n.busyUntil[l] = start + uint64(flits)
 	}
 	// Tail flit arrives (flits-1) cycles after the head.
-	t += uint64(flits - 1)
-	n.engine.At(t, deliver)
+	return t + uint64(flits - 1)
 }
 
 func maxU64(a, b uint64) uint64 {

@@ -6,10 +6,33 @@
 // non-decreasing time order. Events scheduled for the same cycle run in
 // scheduling order (a monotonically increasing sequence number breaks ties),
 // which makes every simulation bit-for-bit reproducible for a given seed.
+//
+// The scheduler is a two-tier calendar queue tuned for the delay mix the
+// coherence and CPU models generate:
+//
+//   - a near-future bucket ring of ringSize one-cycle buckets absorbs the
+//     dominant small-delay events (cache hit latencies, directory decision
+//     delays, single NoC hops): scheduling is an O(1) slice append and
+//     dispatch pops in FIFO order, which is exactly (when, seq) order;
+//   - everything at least ringSize cycles out (memory latencies, retry
+//     backoffs, watchdog-scale timeouts) goes to a hand-specialized 4-ary
+//     min-heap over a flat []event slice — no container/heap interface
+//     boxing, no per-Push allocation.
+//
+// Because simulated time is monotonic, for any cycle t every heap insertion
+// with when==t happens strictly before every ring insertion with when==t
+// (the former requires now <= t-ringSize, the latter now > t-ringSize), so
+// popping the heap whenever its top is <= the earliest ring bucket preserves
+// the global (when, seq) order exactly. The two-tier scheduler is therefore
+// bit-for-bit identical in execution order to a single ordered queue.
+//
+// Events are plain values in flat slices. The typed-event API (AtEvent /
+// AfterEvent) lets hot paths schedule a Handler callback with two payload
+// words instead of allocating a fresh closure per event; the closure API
+// (At / After) remains for cold paths and tests.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -19,38 +42,50 @@ import (
 // simulated machine and is treated as fatal by the harness.
 var ErrLimitReached = errors.New("sim: cycle limit reached with events still pending")
 
-// Event is a callback scheduled to run at a particular cycle.
+// Handler receives typed events scheduled with AtEvent/AfterEvent. kind
+// discriminates between the handler's event flavors; a and p are payload
+// words chosen so that neither boxes (uint64 goes in a, pointers go in p).
+type Handler interface {
+	OnEvent(kind uint8, a uint64, p any)
+}
+
+// event is one scheduled callback: either a closure (fn != nil) or a typed
+// handler event.
 type event struct {
 	when uint64
 	seq  uint64
 	fn   func()
+	h    Handler
+	p    any
+	a    uint64
+	kind uint8
 }
 
-type eventHeap []event
+const (
+	ringBits = 6
+	// ringSize is the bucket-ring horizon: events fewer than ringSize cycles
+	// out go to the ring, the rest to the heap. 64 covers every fixed
+	// latency of Table I except main memory (100 cycles).
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// bucket holds the events of one cycle in FIFO (= seq) order. head avoids
+// shifting on pop; the slice is reset (capacity retained) when drained.
+type bucket struct {
+	ev   []event
+	head int
 }
 
 // Engine is the discrete-event scheduler. The zero value is ready to use.
 type Engine struct {
 	now      uint64
 	seq      uint64
-	heap     eventHeap
 	executed uint64
+
+	ring      [ringSize]bucket
+	ringCount int
+	heap      []event // 4-ary min-heap ordered by (when, seq)
 
 	// Watchdog state: the engine aborts a Run if no progress callback fires
 	// within Watchdog cycles. Components that make forward progress (e.g. a
@@ -72,35 +107,117 @@ func (e *Engine) Now() uint64 { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.ringCount + len(e.heap) }
 
-// At schedules fn to run at absolute cycle t. Scheduling in the past panics:
-// it is always a component bug.
-func (e *Engine) At(t uint64, fn func()) {
+// schedule places ev at absolute cycle t. Scheduling in the past panics: it
+// is always a component bug.
+func (e *Engine) schedule(t uint64, ev event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, event{when: t, seq: e.seq, fn: fn})
+	ev.when, ev.seq = t, e.seq
+	if t-e.now < ringSize {
+		b := &e.ring[t&ringMask]
+		b.ev = append(b.ev, ev)
+		e.ringCount++
+		return
+	}
+	e.heapPush(ev)
 }
 
+// At schedules fn to run at absolute cycle t.
+func (e *Engine) At(t uint64, fn func()) { e.schedule(t, event{fn: fn}) }
+
 // After schedules fn to run d cycles from now.
-func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d uint64, fn func()) { e.schedule(e.now+d, event{fn: fn}) }
+
+// AtEvent schedules h.OnEvent(kind, a, p) at absolute cycle t without
+// allocating: the event is a value in a flat slice and the payload fields
+// are stored unboxed.
+func (e *Engine) AtEvent(t uint64, h Handler, kind uint8, a uint64, p any) {
+	e.schedule(t, event{h: h, kind: kind, a: a, p: p})
+}
+
+// AfterEvent schedules h.OnEvent(kind, a, p) d cycles from now.
+func (e *Engine) AfterEvent(d uint64, h Handler, kind uint8, a uint64, p any) {
+	e.schedule(e.now+d, event{h: h, kind: kind, a: a, p: p})
+}
 
 // Progress informs the watchdog that the simulated machine made forward
 // progress (e.g. a transaction committed or a section finished).
 func (e *Engine) Progress() { e.lastProgress = e.now }
 
+// nextWhen returns the cycle of the earliest pending event.
+func (e *Engine) nextWhen() (uint64, bool) {
+	if e.ringCount > 0 {
+		for i := uint64(0); i < ringSize; i++ {
+			t := e.now + i
+			if len(e.heap) > 0 && e.heap[0].when <= t {
+				return e.heap[0].when, true
+			}
+			if b := &e.ring[t&ringMask]; b.head < len(b.ev) {
+				return t, true
+			}
+		}
+		panic("sim: ring accounting corrupted")
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].when, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the globally earliest event in (when, seq) order.
+//
+// Ring buckets are scanned forward from now; every event in a reachable
+// bucket provably has when equal to the scan cycle (see the package
+// comment), so bucket FIFO order is (when, seq) order. The heap wins ties
+// at equal when because all of its same-cycle events were scheduled — and
+// therefore sequenced — before any ring event of that cycle.
+func (e *Engine) pop() (event, bool) {
+	if e.ringCount > 0 {
+		for i := uint64(0); i < ringSize; i++ {
+			t := e.now + i
+			if len(e.heap) > 0 && e.heap[0].when <= t {
+				return e.heapPop(), true
+			}
+			b := &e.ring[t&ringMask]
+			if b.head >= len(b.ev) {
+				continue
+			}
+			ev := b.ev[b.head]
+			b.ev[b.head] = event{} // drop references so the GC can reclaim payloads
+			b.head++
+			if b.head == len(b.ev) {
+				b.ev = b.ev[:0]
+				b.head = 0
+			}
+			e.ringCount--
+			return ev, true
+		}
+		panic("sim: ring accounting corrupted")
+	}
+	if len(e.heap) > 0 {
+		return e.heapPop(), true
+	}
+	return event{}, false
+}
+
 // Step executes the next pending event, advancing time. It reports whether
 // an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	ev, ok := e.pop()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
 	e.now = ev.when
 	e.executed++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.h.OnEvent(ev.kind, ev.a, ev.p)
+	}
 	return true
 }
 
@@ -109,15 +226,85 @@ func (e *Engine) Step() bool {
 // call the run aborts with a diagnostic error.
 func (e *Engine) Run(limit uint64) error {
 	e.lastProgress = e.now
-	for len(e.heap) > 0 {
-		if limit != 0 && e.heap[0].when > limit {
-			return fmt.Errorf("%w: now=%d pending=%d", ErrLimitReached, e.now, len(e.heap))
+	for {
+		t, ok := e.nextWhen()
+		if !ok {
+			return nil
+		}
+		if limit != 0 && t > limit {
+			return fmt.Errorf("%w: now=%d pending=%d", ErrLimitReached, e.now, e.Pending())
 		}
 		if e.Watchdog != 0 && e.now-e.lastProgress > e.Watchdog {
 			return fmt.Errorf("sim: watchdog expired: no progress since cycle %d (now %d, pending %d)",
-				e.lastProgress, e.now, len(e.heap))
+				e.lastProgress, e.now, e.Pending())
 		}
 		e.Step()
 	}
-	return nil
+}
+
+// --- 4-ary min-heap over a flat []event slice ---------------------------
+
+// less orders events by (when, seq).
+func less(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev event) {
+	e.heap = append(e.heap, ev)
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(&ev, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop references so the GC can reclaim payloads
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places ev starting from the root of the (already popped) heap.
+func (e *Engine) siftDown(ev event) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !less(&h[m], &ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }

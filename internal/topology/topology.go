@@ -8,14 +8,32 @@ import "fmt"
 // Mesh is a W x H grid of tiles numbered row-major: tile = y*W + x.
 type Mesh struct {
 	W, H int
+	// routes[src*Tiles+dst] is the precomputed X-Y route, shared by all
+	// copies of the Mesh value. Callers must treat routes as read-only.
+	routes [][]Link
 }
 
-// NewMesh validates the dimensions and returns the mesh.
+// routeTableMax bounds the precomputed table: a T-tile mesh stores T^2
+// routes, so very large meshes fall back to computing routes on demand.
+const routeTableMax = 4096
+
+// NewMesh validates the dimensions and returns the mesh with its route
+// table precomputed (routing is deterministic, so every (src, dst) pair
+// always takes the same path).
 func NewMesh(w, h int) Mesh {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("topology: invalid mesh %dx%d", w, h))
 	}
-	return Mesh{W: w, H: h}
+	m := Mesh{W: w, H: h}
+	if t := m.Tiles(); t <= routeTableMax {
+		m.routes = make([][]Link, t*t)
+		for src := 0; src < t; src++ {
+			for dst := 0; dst < t; dst++ {
+				m.routes[src*t+dst] = m.computeRoute(src, dst)
+			}
+		}
+	}
+	return m
 }
 
 // Tiles returns the number of tiles.
@@ -39,8 +57,17 @@ func (m Mesh) Hops(src, dst int) int {
 type Link struct{ From, To int }
 
 // Route returns the ordered list of directed links traversed by an X-Y
-// routed message from src to dst. An empty slice means src == dst.
+// routed message from src to dst. An empty slice means src == dst. The
+// returned slice is shared (routes are precomputed) and must not be
+// mutated.
 func (m Mesh) Route(src, dst int) []Link {
+	if m.routes != nil {
+		return m.routes[src*m.Tiles()+dst]
+	}
+	return m.computeRoute(src, dst)
+}
+
+func (m Mesh) computeRoute(src, dst int) []Link {
 	if src == dst {
 		return nil
 	}
