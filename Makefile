@@ -3,15 +3,34 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench figures clean
+# Pinned versions for the external linters CI installs. Bump deliberately —
+# new staticcheck releases can add checks that fail an unchanged tree.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
 
-all: vet build test
+.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench figures eval clean
+
+all: vet lint build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (determinism + pool-ownership invariants).
+# See DESIGN.md "Determinism & pooling rules" for what each pass enforces
+# and how to waive a finding.
+lint:
+	$(GO) run ./cmd/lockillerlint ./...
+
+# External linters. These download a tool, so they are CI-only targets on
+# machines with network access; `make lint` stays fully offline.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...
@@ -33,6 +52,12 @@ bench:
 figures:
 	$(GO) run ./cmd/lockillerbench -all -quick
 
+# Full evaluation sweep (the EXPERIMENTS.md numbers). Writes to out/,
+# which is gitignored — eval output is derived data, not source.
+eval:
+	sh scripts/eval.sh
+
 clean:
 	$(GO) clean ./...
 	rm -f cpu.out mem.out
+	rm -rf out

@@ -1,0 +1,110 @@
+// Command lockillerlint is the multichecker for the repository's custom
+// static-analysis suite. It loads the named packages from source (stdlib-only
+// module, no external driver needed) and runs the four lockiller passes:
+//
+//	detmap      — order-dependent side effects in map-range loops of
+//	              deterministic packages
+//	nowallclock — wall-clock, global rand, env reads, goroutines, channels
+//	              in deterministic packages
+//	poolsafe    — use-after-free / double-free of pooled protocol objects
+//	evtalloc    — closure-literal Engine.At/After scheduling on hot paths
+//
+// Usage:
+//
+//	lockillerlint [-analyzers a,b] [packages]
+//
+// Packages default to ./... resolved against the enclosing module. Exit
+// status is 1 when any diagnostic is reported, 2 on load errors, matching
+// go vet. See DESIGN.md "Determinism & pooling rules" for the invariants and
+// the //lockiller: waiver syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detmap"
+	"repro/internal/analysis/evtalloc"
+	"repro/internal/analysis/nowallclock"
+	"repro/internal/analysis/poolsafe"
+)
+
+var all = []*analysis.Analyzer{
+	detmap.Analyzer,
+	evtalloc.Analyzer,
+	nowallclock.Analyzer,
+	poolsafe.Analyzer,
+}
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lockillerlint [-analyzers a,b] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *names != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lockillerlint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lockillerlint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lockillerlint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,145 @@
+// Package analysistest runs an Analyzer over self-contained fixture packages
+// and checks its diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is one directory under the calling test's testdata/ holding one
+// package whose imports are stdlib-only. Expected diagnostics are written as
+// trailing comments on the offending line:
+//
+//	for k := range m { // want `range over map`
+//
+// The comment text between backquotes (or double quotes) is a regexp that
+// must match the diagnostic message reported on that line. Every reported
+// diagnostic must be matched by a want, and every want must be matched by a
+// diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+// Run loads each named fixture directory under testdata/ and applies the
+// analyzer, comparing diagnostics against the // want expectations.
+func Run(t *testing.T, analyzer *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fix := range fixtures {
+		fix := fix
+		t.Run(fix, func(t *testing.T) {
+			t.Helper()
+			runOne(t, analyzer, filepath.Join("testdata", fix))
+		})
+	}
+}
+
+type expect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func runOne(t *testing.T, analyzer *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, wants, err := loadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// loadFixture parses and type-checks the single package in dir and extracts
+// its // want expectations.
+func loadFixture(dir string) (*analysis.Package, []*expect, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var wants []*expect
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pat := m[1][1 : len(m[1])-1] // strip quotes/backquotes
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, &expect{file: n, line: i + 1, re: re})
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysistest: type-checking %s: %w", dir, err)
+	}
+	return &analysis.Package{
+		Path: tpkg.Path(), Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}, wants, nil
+}

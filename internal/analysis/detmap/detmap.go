@@ -1,0 +1,408 @@
+// Package detmap flags range statements over maps in deterministic packages
+// whose loop bodies have order-dependent side effects. Go randomizes map
+// iteration order per run; if a map-range body schedules events, sends
+// messages, overwrites shared state, or escapes elements without sorting,
+// the randomized order leaks into event sequencing and breaks bit-for-bit
+// replay (the golden-cycle matrix).
+//
+// A body is accepted when its effects are provably order-independent:
+//
+//   - reads and loop-local computation;
+//   - commutative accumulation into outer variables (x += v, x++, |=, ...);
+//   - writes indexed or selected through the range variables themselves
+//     (m2[k] = f(v), v.field = x): each element is touched individually, so
+//     ordering cannot matter;
+//   - the sorted-keys pattern: elements appended to a slice that is passed
+//     to sort.* / slices.Sort* later in the same function;
+//   - order-independent flag sets (done = true) whose value does not depend
+//     on the iteration variables.
+//
+// Anything else is flagged. Intentionally unordered loops are waived with a
+// //lockiller:ordered comment on (or directly above) the range statement.
+package detmap
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detmap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flags order-dependent side effects in map-range loops of deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministicPkg(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Waived(rs, analysis.DirectiveOrdered) {
+				return true
+			}
+			check(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+// classifier walks one map-range body collecting the first order-dependent
+// effect and any escaping append targets.
+type classifier struct {
+	pass    *analysis.Pass
+	rs      *ast.RangeStmt
+	reason  string    // first order-dependent effect, "" if none
+	pos     token.Pos // its position
+	escapes []string  // printed targets of escaping appends (sorted-keys candidates)
+}
+
+func check(pass *analysis.Pass, rs *ast.RangeStmt) {
+	c := &classifier{pass: pass, rs: rs}
+	if rs.Tok == token.ASSIGN {
+		// for k = range m with an outer k: after the loop k holds an
+		// arbitrary key.
+		c.fail(rs.Pos(), "assigns an arbitrary map element to an outer variable")
+	}
+	c.stmt(rs.Body)
+	if c.reason == "" && len(c.escapes) > 0 {
+		for _, target := range c.escapes {
+			if !c.sortedAfter(target) {
+				c.fail(rs.Pos(), fmt.Sprintf("appends map elements to %s, which is never sorted in this function", target))
+				break
+			}
+		}
+	}
+	if c.reason != "" {
+		// Anchored on the range statement itself: the loop is the unit the
+		// reader sorts or waives, wherever in its body the effect sits.
+		pass.Reportf(rs.For, "range over map in deterministic package %q: %s (line %d); iteration order is randomized — sort the keys or waive with //%s",
+			pass.Pkg.Name(), c.reason, pass.Fset.Position(c.pos).Line, analysis.DirectiveOrdered)
+	}
+}
+
+func (c *classifier) fail(pos token.Pos, reason string) {
+	if c.reason == "" {
+		c.reason, c.pos = reason, pos
+	}
+}
+
+// local reports whether obj is declared inside the range statement (the
+// range variables themselves or body-local declarations).
+func (c *classifier) local(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= c.rs.Pos() && obj.Pos() < c.rs.End()
+}
+
+// refsLoopVar reports whether e references any object declared inside the
+// range statement.
+func (c *classifier) refsLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; c.local(obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprLocal reports whether the root of an lvalue chain (a[i].f, *p, ...)
+// is a loop-local object.
+func (c *classifier) exprLocal(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := c.pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Defs[x]
+			}
+			return c.local(obj)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// commutative assignment operators: the final value is independent of the
+// order the operands arrive in.
+var commutative = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.OR_ASSIGN: true, token.AND_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+func (c *classifier) stmt(s ast.Stmt) {
+	if c.reason != "" || s == nil {
+		return
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			c.stmt(s)
+		}
+	case *ast.IfStmt:
+		c.stmt(st.Init)
+		c.expr(st.Cond)
+		c.stmt(st.Body)
+		c.stmt(st.Else)
+	case *ast.ForStmt:
+		c.stmt(st.Init)
+		c.expr(st.Cond)
+		c.stmt(st.Post)
+		c.stmt(st.Body)
+	case *ast.RangeStmt:
+		c.expr(st.X)
+		c.stmt(st.Body)
+	case *ast.SwitchStmt:
+		c.stmt(st.Init)
+		c.expr(st.Tag)
+		c.stmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(st.Init)
+		c.stmt(st.Assign)
+		c.stmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			c.expr(e)
+		}
+		for _, s := range st.Body {
+			c.stmt(s)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.expr(st.X)
+	case *ast.AssignStmt:
+		c.assign(st)
+	case *ast.IncDecStmt:
+		// x++ / x-- is commutative accumulation wherever the target lives.
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.expr(r)
+			if c.refsLoopVar(r) {
+				c.fail(st.Pos(), "returns a value derived from an arbitrary map element")
+			}
+		}
+	case *ast.BranchStmt:
+		if st.Tok == token.BREAK || st.Tok == token.GOTO {
+			c.fail(st.Pos(), "exits the loop early, so the effect depends on which elements were visited")
+		}
+	case *ast.SendStmt:
+		c.fail(st.Pos(), "sends on a channel")
+	case *ast.GoStmt:
+		c.fail(st.Pos(), "starts a goroutine")
+	case *ast.DeferStmt:
+		c.fail(st.Pos(), "defers a call per element; execution order is iteration order")
+	case *ast.SelectStmt:
+		c.fail(st.Pos(), "selects on channels")
+	case *ast.EmptyStmt:
+	default:
+		c.fail(s.Pos(), "has a statement the analyzer cannot prove order-independent")
+	}
+}
+
+// assign classifies one assignment statement.
+func (c *classifier) assign(st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		var rhs ast.Expr
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			rhs = st.Rhs[0]
+		}
+		// x = append(x, ...): candidate for the sorted-keys pattern.
+		if call, ok := appendCall(rhs); ok && i == 0 {
+			for _, a := range call.Args[1:] {
+				c.expr(a)
+			}
+			if c.exprLocal(lhs) || isBlank(lhs) {
+				continue
+			}
+			c.escapes = append(c.escapes, types.ExprString(lhs))
+			continue
+		}
+		if rhs != nil {
+			c.expr(rhs)
+		}
+		switch {
+		case isBlank(lhs), st.Tok == token.DEFINE, c.exprLocal(lhs):
+			// Loop-local target: invisible outside the iteration.
+		case commutative[st.Tok]:
+			// Commutative accumulation into outer state.
+		case c.refsLoopVar(lhs):
+			// The write is addressed through the range variables (m2[k]=v,
+			// v.field=x): each element is touched individually.
+		case st.Tok == token.ASSIGN && !c.refsLoopVar(rhsOrNil(rhs)):
+			// Order-independent flag set: the stored value does not depend
+			// on the iteration variables (done = true).
+		default:
+			c.fail(st.Pos(), fmt.Sprintf("writes %s with a value from an arbitrary iteration; the last writer depends on iteration order", types.ExprString(lhs)))
+		}
+	}
+}
+
+func rhsOrNil(e ast.Expr) ast.Expr {
+	if e == nil {
+		return &ast.Ident{Name: "nil"}
+	}
+	return e
+}
+
+// expr scans an expression for order-dependent operations: calls with side
+// effects, channel receives, and closures.
+func (c *classifier) expr(e ast.Expr) {
+	if c.reason != "" || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if c.reason != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			return c.call(x)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.fail(x.Pos(), "receives from a channel")
+				return false
+			}
+		case *ast.FuncLit:
+			c.fail(x.Pos(), "builds a closure per element; closures capture and escape iteration state")
+			return false
+		}
+		return true
+	})
+}
+
+// call classifies one call expression; the return value tells ast.Inspect
+// whether to descend into the call's children.
+func (c *classifier) call(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	// Type conversions are pure.
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "len", "cap", "min", "max", "real", "imag", "complex", "make", "new", "panic":
+				// Pure (panic aborts the whole run; it cannot desynchronize
+				// a surviving replay).
+				return true
+			case "append":
+				// Reached only when the result is not assigned back
+				// (someone passed append's result along): the slice escapes
+				// unordered.
+				c.fail(call.Pos(), "passes appended map elements along without sorting")
+				return false
+			case "delete":
+				if c.exprLocal(call.Args[0]) {
+					return true
+				}
+				c.fail(call.Pos(), fmt.Sprintf("deletes from %s during iteration", types.ExprString(call.Args[0])))
+				return false
+			default:
+				c.fail(call.Pos(), fmt.Sprintf("calls builtin %s with order-dependent effects", b.Name()))
+				return false
+			}
+		}
+	}
+	c.fail(call.Pos(), fmt.Sprintf("calls %s, whose effects occur in iteration order", types.ExprString(fun)))
+	return false
+}
+
+// sortedAfter reports whether the enclosing function sorts target after the
+// range loop: a call into package sort or slices whose arguments mention the
+// append target.
+func (c *classifier) sortedAfter(target string) bool {
+	body := c.pass.EnclosingFunc(c.rs)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, a := range call.Args {
+			if strings.Contains(types.ExprString(a), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func appendCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

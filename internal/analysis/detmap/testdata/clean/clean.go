@@ -1,0 +1,94 @@
+// Package sim is a detmap fixture: every loop below is order-independent or
+// explicitly waived and must NOT be flagged.
+package sim
+
+import "sort"
+
+type counterState struct {
+	calls uint64
+}
+
+// pureCount only accumulates into an outer scalar.
+func pureCount(mshrs map[uint64]*counterState) int {
+	n := 0
+	for _, ms := range mshrs {
+		if ms.calls > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// accumulate uses commutative += into outer state.
+func accumulate(m map[int]uint64) (total uint64) {
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// indexWrite addresses the outer map through the range key: each element is
+// touched individually, so ordering cannot matter.
+func indexWrite(src map[uint64]uint64, dst map[uint64]uint64) {
+	for k, v := range src {
+		dst[k] = v + 1
+	}
+}
+
+// elementWrite writes through the range value pointer.
+func elementWrite(m map[int]*counterState) {
+	for _, ms := range m {
+		ms.calls = 0
+	}
+}
+
+// sortedKeys is the sanctioned pattern: collect, sort, then act in order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// flagSet stores a value that does not depend on the iteration variables.
+func flagSet(m map[int]uint64) bool {
+	any := false
+	for _, v := range m {
+		if v > 10 {
+			any = true
+		}
+	}
+	return any
+}
+
+// waived is order-dependent on purpose and says so.
+func waived(s *sched, wake map[int]struct{}) {
+	//lockiller:ordered diagnostics only; never reached in replayed runs
+	for c := range wake {
+		s.schedule(c)
+	}
+}
+
+type sched struct{}
+
+func (s *sched) schedule(core int) {}
+
+// sliceRange has side effects but iterates a slice: slices are ordered.
+func sliceRange(s *sched, cores []int) {
+	for _, c := range cores {
+		s.schedule(c)
+	}
+}
+
+// localMap ranges over a map but all intermediates are loop-local and the
+// only outer effect is a commutative accumulation.
+func localMap(m map[int]int) uint64 {
+	var total uint64
+	for _, v := range m {
+		double := uint64(v) * 2
+		total += double
+	}
+	return total
+}

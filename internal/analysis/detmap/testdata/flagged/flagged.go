@@ -1,0 +1,71 @@
+// Package sim is a detmap fixture: every map-range loop below has an
+// order-dependent side effect and must be flagged. The package is named sim
+// so it falls inside the deterministic set.
+package sim
+
+import "fmt"
+
+type scheduler struct{}
+
+func (s *scheduler) schedule(core int) {}
+
+// rangeWithCall schedules per element: event order becomes map order.
+func rangeWithCall(s *scheduler, wake map[int]struct{}) {
+	for c := range wake { // want `calls s\.schedule, whose effects occur in iteration order`
+		s.schedule(c)
+	}
+}
+
+// rangeOverwrite keeps the last-seen key: "last" depends on map order.
+func rangeOverwrite(m map[string]int) string {
+	var last string
+	for k := range m { // want `writes last with a value from an arbitrary iteration`
+		last = k
+	}
+	return last
+}
+
+// rangeEscapeUnsorted collects keys but never sorts them.
+func rangeEscapeUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends map elements to keys, which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// rangeDelete mutates another map during iteration.
+func rangeDelete(m map[int]int, other map[int]int) {
+	for k := range m { // want `deletes from other during iteration`
+		delete(other, k)
+	}
+}
+
+// rangeEarlyReturn returns an arbitrary element.
+func rangeEarlyReturn(m map[int]int) int {
+	for k := range m { // want `returns a value derived from an arbitrary map element`
+		return k
+	}
+	return -1
+}
+
+// rangeBreak exits after an arbitrary subset of iterations.
+func rangeBreak(m map[int]uint64) uint64 {
+	var sum uint64
+	for _, v := range m { // want `exits the loop early`
+		sum += v
+		if sum > 100 {
+			break
+		}
+	}
+	return sum
+}
+
+// rangeOuterKey leaves an arbitrary key in an outer variable.
+func rangeOuterKey(m map[int]int) {
+	var k int
+	for k = range m { // want `assigns an arbitrary map element to an outer variable`
+		_ = k
+	}
+	fmt.Println(k)
+}

@@ -1,0 +1,12 @@
+// Package plot is a detmap fixture: it is outside the deterministic set, so
+// even order-dependent map ranges are accepted (rendering may legitimately
+// iterate unordered).
+package plot
+
+import "fmt"
+
+func render(series map[string][]float64) {
+	for name, ys := range series {
+		fmt.Println(name, len(ys))
+	}
+}

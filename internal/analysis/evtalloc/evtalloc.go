@@ -1,0 +1,78 @@
+// Package evtalloc flags closure-literal scheduling on the simulator's hot
+// path: a func literal passed to sim.Engine.At or sim.Engine.After allocates
+// one closure (and usually a capture cell) per event. PR 1 added the typed
+// zero-alloc API — AtEvent/AfterEvent dispatch to a Handler with two unboxed
+// payload words — and converting the hot-path call sites cut the full-sim
+// allocation rate 11x, so new closure literals in hot packages are
+// regressions.
+//
+// Only literals are flagged: passing a prebound closure variable (built once
+// at setup, reused per event) is the other sanctioned zero-steady-state-
+// allocation pattern. Cold paths that genuinely need an ad-hoc closure are
+// waived with //lockiller:alloc-ok plus a justification.
+package evtalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the evtalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "evtalloc",
+	Doc:  "flags closure-literal Engine.At/After scheduling in hot packages; steer to AtEvent/AfterEvent",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsHotPkg(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "At" && name != "After" {
+				return true
+			}
+			if !isEngine(pass, sel.X) || len(call.Args) != 2 {
+				return true
+			}
+			if _, lit := ast.Unparen(call.Args[1]).(*ast.FuncLit); !lit {
+				return true
+			}
+			if pass.Waived(call, analysis.DirectiveAllocOK) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"closure literal passed to Engine.%s in hot package %q allocates per event; use Engine.%sEvent (typed zero-alloc API) or a prebound closure, or waive a cold path with //%s",
+				name, pass.Pkg.Name(), name, analysis.DirectiveAllocOK)
+			return true
+		})
+	}
+	return nil
+}
+
+// isEngine reports whether e's type is (a pointer to) a named type called
+// Engine — sim.Engine in the real tree, a local stand-in in fixtures.
+func isEngine(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
+}

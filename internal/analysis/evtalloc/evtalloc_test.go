@@ -1,0 +1,12 @@
+package evtalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/evtalloc"
+)
+
+func TestEvtAlloc(t *testing.T) {
+	analysistest.Run(t, evtalloc.Analyzer, "flagged", "clean", "coldpkg")
+}

@@ -1,0 +1,14 @@
+// Package plot is an evtalloc fixture: closure-literal scheduling outside
+// the hot set is accepted without a waiver.
+package plot
+
+// Engine stands in for sim.Engine.
+type Engine struct{}
+
+func (e *Engine) After(d uint64, fn func()) {}
+
+func renderLater(e *Engine, done func()) {
+	e.After(100, func() {
+		done()
+	})
+}

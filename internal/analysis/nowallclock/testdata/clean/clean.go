@@ -1,0 +1,42 @@
+// Package htm is a nowallclock fixture: everything below is allowed in a
+// deterministic package and must NOT be flagged.
+package htm
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// durations uses time only for unit arithmetic, never the clock.
+func durations(cycles uint64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond
+}
+
+// localRNG is the sanctioned pattern: a seeded, component-owned stream
+// (mirrors sim.RNG without importing it; fixtures are self-contained).
+type localRNG struct{ state uint64 }
+
+func (r *localRNG) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// fileIO may use os freely; only environment reads are forbidden.
+func fileIO(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "deterministic")
+	return f.Close()
+}
+
+// callbacks passes functions around without goroutines or channels.
+func callbacks(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,0 +1,398 @@
+// Package poolsafe enforces the ownership rules of the pooled protocol
+// objects (coherence.Msg, mshr, pending): once a value flows into its
+// release sink — System.free, L1.freeMshr, Bank.freePending, or a helper
+// that forwards its parameter to one of those — the local variable holding
+// it is dead. Reading or writing through it reads recycled state (the exact
+// use-after-recycle MSHR bug class PR 1 fixed by hand), and releasing it
+// again corrupts the free list.
+//
+// The pass is an intra-procedural, flow-sensitive dataflow over each
+// function body: release sinks generate "freed" facts for the argument
+// variable, reassignment kills them, and branches merge by union (freed on
+// any path counts, except paths that terminate in return/break/continue).
+// Helper functions are summarized first: a function whose body passes one of
+// its parameters to a sink is itself a sink for that parameter, so a value
+// "flowing through a helper before free" is tracked one level deep.
+//
+// A flagged flow that is provably safe can be waived with //lockiller:pool-ok
+// plus a justification.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc:  "flags use-after-free and double-free of pooled protocol objects",
+	Run:  run,
+}
+
+// baseSinks are the release entry points, matched by name: each frees its
+// first argument.
+var baseSinks = map[string]bool{
+	"free": true, "freeMshr": true, "freePending": true,
+}
+
+func run(pass *analysis.Pass) error {
+	helpers := collectHelpers(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &flow{pass: pass, helpers: helpers}
+			a.stmts(fd.Body.List, state{})
+			// Each closure body is its own flow: it executes at an unknown
+			// later time, so its frees must not leak into the enclosing
+			// function, but within the closure the ownership rules hold.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					a.stmts(lit.Body.List, state{})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectHelpers summarizes package functions that forward a parameter to a
+// base sink: map from the function object to the parameter indices it frees.
+func collectHelpers(pass *analysis.Pass) map[types.Object][]int {
+	helpers := make(map[types.Object][]int)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || baseSinks[fd.Name.Name] {
+				continue
+			}
+			params := make(map[types.Object]int)
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						params[obj] = i
+					}
+					i++
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			freeSet := make(map[int]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBaseSink(call) || len(call.Args) == 0 {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if idx, ok := params[pass.TypesInfo.Uses[id]]; ok {
+						freeSet[idx] = true
+					}
+				}
+				return true
+			})
+			var frees []int
+			for idx := range freeSet {
+				frees = append(frees, idx)
+			}
+			sort.Ints(frees)
+			if len(frees) > 0 {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					helpers[obj] = frees
+				}
+			}
+		}
+	}
+	return helpers
+}
+
+func isBaseSink(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return baseSinks[fun.Sel.Name]
+	case *ast.Ident:
+		return baseSinks[fun.Name]
+	}
+	return false
+}
+
+// state maps a variable to the position where it was freed.
+type state map[*types.Var]token.Pos
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k, v := range st { //lockiller:ordered map copy is order-independent
+		c[k] = v
+	}
+	return c
+}
+
+// flow analyzes one function body.
+type flow struct {
+	pass    *analysis.Pass
+	helpers map[types.Object][]int
+}
+
+// stmts runs the statement list, threading the freed-state through.
+// terminated reports that control cannot fall off the end of the list.
+func (a *flow) stmts(list []ast.Stmt, st state) (out state, terminated bool) {
+	for _, s := range list {
+		st, terminated = a.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (a *flow) stmt(s ast.Stmt, st state) (state, bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		a.checkExpr(x.X, st, s)
+		a.applyFrees(x.X, st, s)
+		return st, false
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			a.checkExpr(r, st, s)
+			a.applyFrees(r, st, s)
+		}
+		for _, l := range x.Lhs {
+			// Index/selector sub-expressions of the target are reads.
+			switch lv := ast.Unparen(l).(type) {
+			case *ast.Ident:
+				// Reassignment kills the freed fact: the name is rebound.
+				if obj, ok := a.pass.TypesInfo.ObjectOf(lv).(*types.Var); ok {
+					delete(st, obj)
+				}
+			default:
+				a.checkExpr(l, st, s)
+			}
+		}
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						a.checkExpr(v, st, s)
+						a.applyFrees(v, st, s)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			a.checkExpr(r, st, s)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; stop propagating.
+		return st, true
+	case *ast.BlockStmt:
+		return a.stmts(x.List, st)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st, _ = a.stmt(x.Init, st)
+		}
+		a.checkExpr(x.Cond, st, s)
+		thenSt, thenTerm := a.stmts(x.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if x.Else != nil {
+			elseSt, elseTerm = a.stmt(x.Else, st.clone())
+		}
+		return mergeBranches(st, []state{thenSt, elseSt}, []bool{thenTerm, elseTerm}), thenTerm && elseTerm
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st, _ = a.stmt(x.Init, st)
+		}
+		if x.Cond != nil {
+			a.checkExpr(x.Cond, st, s)
+		}
+		bodySt, bodyTerm := a.stmts(x.Body.List, st.clone())
+		if x.Post != nil {
+			a.stmt(x.Post, bodySt)
+		}
+		return mergeBranches(st, []state{bodySt}, []bool{bodyTerm}), false
+	case *ast.RangeStmt:
+		a.checkExpr(x.X, st, s)
+		bodySt, bodyTerm := a.stmts(x.Body.List, st.clone())
+		return mergeBranches(st, []state{bodySt}, []bool{bodyTerm}), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := x.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				st, _ = a.stmt(sw.Init, st)
+			}
+			if sw.Tag != nil {
+				a.checkExpr(sw.Tag, st, s)
+			}
+			body = sw.Body
+		} else {
+			ts := x.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				st, _ = a.stmt(ts.Init, st)
+			}
+			body = ts.Body
+		}
+		var states []state
+		var terms []bool
+		allTerm, hasDefault := len(body.List) > 0, false
+		for _, cc := range body.List {
+			clause := cc.(*ast.CaseClause)
+			if clause.List == nil {
+				hasDefault = true
+			}
+			for _, e := range clause.List {
+				a.checkExpr(e, st, s)
+			}
+			cs, ct := a.stmts(clause.Body, st.clone())
+			states = append(states, cs)
+			terms = append(terms, ct)
+			allTerm = allTerm && ct
+		}
+		return mergeBranches(st, states, terms), allTerm && hasDefault
+	case *ast.LabeledStmt:
+		return a.stmt(x.Stmt, st)
+	case *ast.DeferStmt:
+		a.checkExpr(x.Call, st, s)
+		return st, false
+	case *ast.GoStmt:
+		a.checkExpr(x.Call, st, s)
+		return st, false
+	case *ast.SendStmt:
+		a.checkExpr(x.Chan, st, s)
+		a.checkExpr(x.Value, st, s)
+		return st, false
+	case *ast.IncDecStmt:
+		a.checkExpr(x.X, st, s)
+		return st, false
+	default:
+		return st, false
+	}
+}
+
+// mergeBranches unions the freed facts of every branch that can fall
+// through, on top of the incoming state.
+func mergeBranches(in state, branches []state, terminated []bool) state {
+	out := in
+	for i, b := range branches {
+		if terminated[i] {
+			continue
+		}
+		for v, pos := range b { //lockiller:ordered map union is order-independent
+			if _, ok := out[v]; !ok {
+				out[v] = pos
+			}
+		}
+	}
+	return out
+}
+
+// checkExpr reports reads of freed variables anywhere inside e, except the
+// argument slot of the sink call that frees them (applyFrees handles the
+// double-free case).
+func (a *flow) checkExpr(e ast.Expr, st state, stmt ast.Stmt) {
+	if e == nil || len(st) == 0 {
+		return
+	}
+	freeingArgs := make(map[*ast.Ident]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, arg := range a.freedArgs(call) {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					freeingArgs[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || freeingArgs[id] {
+			return true
+		}
+		v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if pos, freed := st[v]; freed {
+			if !a.pass.Waived(stmt, analysis.DirectivePoolOK) {
+				a.pass.Reportf(id.Pos(), "use of %s after it was freed at line %d: pooled objects must not be touched after release (see System.alloc ownership rules)",
+					id.Name, a.pass.Fset.Position(pos).Line)
+			}
+		}
+		return true
+	})
+}
+
+// applyFrees marks variables freed by sink calls inside e, reporting double
+// frees. Closure literals are skipped: their bodies run later and are
+// analyzed as independent flows.
+func (a *flow) applyFrees(e ast.Expr, st state, stmt ast.Stmt) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range a.freedArgs(call) {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := a.pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if pos, freed := st[v]; freed {
+				if !a.pass.Waived(stmt, analysis.DirectivePoolOK) {
+					a.pass.Reportf(id.Pos(), "double free of %s (first freed at line %d): the free list would hand it out twice",
+						id.Name, a.pass.Fset.Position(pos).Line)
+				}
+				continue
+			}
+			st[v] = id.Pos()
+		}
+		return true
+	})
+}
+
+// freedArgs returns the arguments a call releases: the first argument of a
+// base sink, or the summarized parameter slots of a package helper.
+func (a *flow) freedArgs(call *ast.CallExpr) []ast.Expr {
+	if isBaseSink(call) {
+		if len(call.Args) > 0 {
+			return call.Args[:1]
+		}
+		return nil
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = a.pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = a.pass.TypesInfo.Uses[fun]
+	}
+	if obj == nil {
+		return nil
+	}
+	var args []ast.Expr
+	for _, idx := range a.helpers[obj] {
+		if idx < len(call.Args) {
+			args = append(args, call.Args[idx])
+		}
+	}
+	return args
+}

@@ -127,10 +127,25 @@ func (b *Bank) sendAfter(d uint64, v Msg) {
 }
 
 // Typed-event kinds handled by Bank.OnEvent.
-const evBankReceive uint8 = iota // p = *Msg: re-enter Receive (post-eviction restart)
+const (
+	evBankReceive  uint8 = iota // p = *Msg: re-enter Receive (post-eviction restart)
+	evBankAllocate              // a = line, p = cont func(): memory fetch matured
+)
 
-// OnEvent implements sim.Handler for deferred message re-dispatch.
-func (b *Bank) OnEvent(_ uint8, _ uint64, p any) { b.Receive(p.(*Msg)) }
+// OnEvent implements sim.Handler for deferred message re-dispatch and
+// matured memory fetches.
+func (b *Bank) OnEvent(kind uint8, a uint64, p any) {
+	switch kind {
+	case evBankReceive:
+		b.Receive(p.(*Msg))
+	case evBankAllocate:
+		var cont func()
+		if p != nil {
+			cont = p.(func())
+		}
+		b.allocate(mem.Line(a), cont)
+	}
+}
 
 // Receive is the bank's message input, invoked by the NoC after delivery.
 // It owns m: each arm either recycles the message or stores it (the blocked
@@ -443,7 +458,7 @@ func (b *Bank) ensureLLC(l mem.Line, cont func()) {
 		return
 	}
 	b.MemFetches++
-	b.sys.Engine.After(b.sys.MemLatency, func() { b.allocate(l, cont) })
+	b.sys.Engine.AfterEvent(b.sys.MemLatency, b, evBankAllocate, uint64(l), cont)
 }
 
 // fillLLC refreshes (or allocates) the LLC copy of a line on a writeback.

@@ -186,6 +186,7 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 		l1.Misses++
 		l1.MidHits++
 		gdone := l1.guard(done)
+		//lockiller:alloc-ok three-level baseline only; the promote carries two pointers + a flag, which the typed payload cannot hold unboxed
 		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, gdone) })
 		return
 	}
@@ -195,8 +196,9 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 
 // Typed-event kinds handled by L1.OnEvent.
 const (
-	evL1Done     uint8 = iota // a = epoch at access time, p = completion func
-	evL1MshrDone              // p = *mshr whose done callback and waiters run
+	evL1Done      uint8 = iota // a = epoch at access time, p = completion func
+	evL1MshrDone               // p = *mshr whose done callback and waiters run
+	evL1ParkRetry              // a = epoch<<32 | parkSeq (32 bits each), p = *mshr
 )
 
 // OnEvent implements sim.Handler for the L1's allocation-free completions.
@@ -218,8 +220,24 @@ func (l1 *L1) OnEvent(kind uint8, a uint64, p any) {
 			w()
 		}
 		l1.freeMshr(ms) // already deleted from l1.mshrs by fill/fillFromLocal
+	case evL1ParkRetry:
+		// The payload word carries the park generation; the mshr pointer
+		// stays valid across recycling (the pool retains it), and the
+		// identity + epoch + parkSeq checks defuse stale timeouts exactly
+		// as the old capturing closure did.
+		ms := p.(*mshr)
+		if l1.epoch&epochMask == a>>32 && l1.mshrs[ms.line] == ms &&
+			ms.state == mshrParked && ms.parkSeq&epochMask == a&epochMask {
+			l1.retry(ms)
+		}
 	}
 }
+
+// epochMask truncates the park-retry generation counters to the 32 bits
+// that fit beside each other in one event payload word. Both counters
+// advance at most once per executed event, so they cannot wrap within a
+// feasible run, let alone alias modulo 2^32 while a timeout is in flight.
+const epochMask = 1<<32 - 1
 
 // hit completes an access that hit in the L1. done may be unguarded: the
 // completion event carries the current epoch and is dropped on mismatch.
@@ -546,13 +564,8 @@ func (l1 *L1) causeFromRejector(m *Msg) htm.AbortCause {
 func (l1 *L1) park(ms *mshr, timeout uint64) {
 	ms.state = mshrParked
 	ms.parkSeq++
-	seq := ms.parkSeq
-	ep := l1.epoch
-	l1.sys.Engine.After(timeout, func() {
-		if l1.epoch == ep && l1.mshrs[ms.line] == ms && ms.state == mshrParked && ms.parkSeq == seq {
-			l1.retry(ms)
-		}
-	})
+	l1.sys.Engine.AfterEvent(timeout, l1, evL1ParkRetry,
+		l1.epoch<<32|ms.parkSeq&epochMask, ms)
 }
 
 // wakeParked retries every parked request (wake-up message received).
@@ -604,6 +617,7 @@ func (l1 *L1) retry(ms *mshr) {
 	if me := l1.midLookup(ms.line); me != nil && me.State.Valid() {
 		delete(l1.mshrs, ms.line)
 		write, done := ms.write, ms.done // the MSHR is recycled before the promote fires
+		//lockiller:alloc-ok three-level baseline only; the promote carries two pointers + a flag, which the typed payload cannot hold unboxed
 		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, done) })
 		for _, w := range ms.waiters {
 			w()
@@ -732,6 +746,7 @@ func (l1 *L1) forwarded(m *Msg) {
 		// The three-level odd design: flush the line from the L1 to the
 		// middle cache before answering — even for plain loads — paying
 		// the middle-cache latency and losing the L1 copy (§IV-A).
+		//lockiller:alloc-ok three-level baseline only; the deferred forward reply needs the entry, line, requester, and flavor
 		l1.sys.Engine.After(l1.sys.MidHit, func() {
 			if !e.State.Valid() {
 				// The line moved while the flush was in flight (abort).

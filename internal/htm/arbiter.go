@@ -22,8 +22,11 @@ type Arbiter struct {
 	OfRd, OfWr *Signature
 
 	// wake accumulates cores whose requests were rejected by a signature
-	// hit; they are woken on Release.
-	wake map[int]struct{}
+	// hit; they are woken on Release. A WakeSet (not a map) so that the
+	// wake-up order is ascending core ID: wake-ups send messages, message
+	// order assigns event sequence numbers, and map iteration order would
+	// leak scheduler randomness into the replay.
+	wake WakeSet
 	// SendWake is installed by the coherence layer to deliver wake-up
 	// messages; nil is allowed in unit tests.
 	SendWake func(core int)
@@ -43,7 +46,6 @@ func NewArbiter(signatureBits int) *Arbiter {
 		holder: -1,
 		OfRd:   NewSignature(signatureBits),
 		OfWr:   NewSignature(signatureBits),
-		wake:   make(map[int]struct{}),
 	}
 }
 
@@ -126,7 +128,7 @@ func (a *Arbiter) SigConflict(requester int, l mem.Line, write, wouldBeExclusive
 
 // NoteRejected records a core rejected by a signature hit for wake-up when
 // the lock transaction ends.
-func (a *Arbiter) NoteRejected(core int) { a.wake[core] = struct{}{} }
+func (a *Arbiter) NoteRejected(core int) { a.wake.Add(core) }
 
 // Release ends the holder's HTMLock mode: signatures are flash-cleared,
 // rejected cores are woken, and a queued TL applicant (if any) is granted.
@@ -138,12 +140,11 @@ func (a *Arbiter) Release(core int) {
 	a.holderMode = NonTx
 	a.OfRd.Clear()
 	a.OfWr.Clear()
-	for c := range a.wake {
+	a.wake.Drain(func(c int) {
 		if a.SendWake != nil {
 			a.SendWake(c)
 		}
-		delete(a.wake, c)
-	}
+	})
 	if len(a.waiting) > 0 {
 		w := a.waiting[0]
 		a.waiting = a.waiting[1:]

@@ -1,0 +1,14 @@
+#!/bin/sh
+# eval.sh — run the full evaluation sweep (`lockillerbench -all -seed 1`,
+# the EXPERIMENTS.md numbers) and capture stdout/stderr under out/.
+#
+# Usage: scripts/eval.sh [outdir]     (default: out)
+set -eu
+cd "$(dirname "$0")/.."
+OUTDIR="${1:-out}"
+mkdir -p "$OUTDIR"
+
+echo "running full evaluation sweep (this takes a while)..." >&2
+go run ./cmd/lockillerbench -all -seed 1 \
+    >"$OUTDIR/eval_full.txt" 2>"$OUTDIR/eval_full.err"
+echo "wrote $OUTDIR/eval_full.txt and $OUTDIR/eval_full.err" >&2
