@@ -43,10 +43,12 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# Run the scheduler + full-simulator benchmarks and write BENCH_1.json
-# (ns/op, B/op, allocs/op per benchmark).
+# Run the scheduler + full-simulator benchmarks and write BENCH_2.json
+# (ns/op, B/op, allocs/op per benchmark). BENCH_1.json is the pre-refactor
+# baseline; compare SimulatorThroughput between the two (the table-driven
+# protocol engine must stay within ±5%).
 bench:
-	sh scripts/bench.sh BENCH_1.json
+	sh scripts/bench.sh BENCH_2.json
 
 # Regenerate the paper's figures (quick scope).
 figures:

@@ -1,13 +1,15 @@
 // Command lockillerlint is the multichecker for the repository's custom
 // static-analysis suite. It loads the named packages from source (stdlib-only
-// module, no external driver needed) and runs the four lockiller passes:
+// module, no external driver needed) and runs the five lockiller passes:
 //
-//	detmap      — order-dependent side effects in map-range loops of
-//	              deterministic packages
-//	nowallclock — wall-clock, global rand, env reads, goroutines, channels
-//	              in deterministic packages
-//	poolsafe    — use-after-free / double-free of pooled protocol objects
-//	evtalloc    — closure-literal Engine.At/After scheduling on hot paths
+//	detmap        — order-dependent side effects in map-range loops of
+//	                deterministic packages
+//	nowallclock   — wall-clock, global rand, env reads, goroutines, channels
+//	                in deterministic packages
+//	poolsafe      — use-after-free / double-free of pooled protocol objects
+//	evtalloc      — closure-literal Engine.At/After scheduling on hot paths
+//	tabledispatch — raw switches over MsgType in the coherence package that
+//	                bypass the protocol transition tables
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ import (
 	"repro/internal/analysis/evtalloc"
 	"repro/internal/analysis/nowallclock"
 	"repro/internal/analysis/poolsafe"
+	"repro/internal/analysis/tabledispatch"
 )
 
 var all = []*analysis.Analyzer{
@@ -37,6 +40,7 @@ var all = []*analysis.Analyzer{
 	evtalloc.Analyzer,
 	nowallclock.Analyzer,
 	poolsafe.Analyzer,
+	tabledispatch.Analyzer,
 }
 
 func main() {

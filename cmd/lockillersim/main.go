@@ -32,6 +32,7 @@ func main() {
 	traceCats := flag.String("trace", "", "record events: comma-separated categories (proto,conflict,tx,htmlock,lock) or 'all'")
 	traceN := flag.Int("tracen", 200, "number of trace events to retain")
 	showTraffic := flag.Bool("traffic", false, "print the memory-subsystem traffic summary")
+	showTransitions := flag.Bool("transitions", false, "print the protocol-table transition heat profile")
 	threeLevel := flag.Bool("threelevel", false, "use the MESI-Three-Level-HTM organization (private middle cache)")
 	exportPath := flag.String("export", "", "write the generated thread programs as JSON and exit")
 	importPath := flag.String("import", "", "replay thread programs from a JSON file instead of generating them")
@@ -128,6 +129,10 @@ func main() {
 	fmt.Println()
 	if *showTraffic {
 		run.Traffic.Render(os.Stdout)
+	}
+	if *showTransitions {
+		fmt.Println("transition heat profile:")
+		stats.RenderTransitionProfile(os.Stdout, run.Transitions)
 	}
 	if tracer != nil {
 		fmt.Println("trace:")

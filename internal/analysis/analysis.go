@@ -79,10 +79,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	//lockiller:alloc-ok  — evtalloc: the closure allocation is accepted
 //	                        (cold path); say why in the trailing text
 //	//lockiller:pool-ok   — poolsafe: the flagged flow is safe; say why
+//	//lockiller:rawdispatch — tabledispatch: the switch is stateless routing,
+//	                        not a protocol decision; say why and name the
+//	                        test that cross-checks it against the tables
 const (
-	DirectiveOrdered = "lockiller:ordered"
-	DirectiveAllocOK = "lockiller:alloc-ok"
-	DirectivePoolOK  = "lockiller:pool-ok"
+	DirectiveOrdered     = "lockiller:ordered"
+	DirectiveAllocOK     = "lockiller:alloc-ok"
+	DirectivePoolOK      = "lockiller:pool-ok"
+	DirectiveRawDispatch = "lockiller:rawdispatch"
 )
 
 // Waived reports whether node n is waived by the given directive: a comment

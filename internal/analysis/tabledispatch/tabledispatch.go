@@ -1,0 +1,70 @@
+// Package tabledispatch keeps the coherence protocol table-driven: since the
+// PR-3 refactor, every protocol decision over a message's type dispatches
+// through the declarative transition tables in internal/coherence/tables.go
+// (built on internal/coherence/proto), where the (state, event) space is
+// validated for exhaustiveness and counted per transition. A raw
+// `switch m.Type` in the coherence package is a decision the tables cannot
+// see — invisible to TestProtocolTablesComplete, the impossible-pair panics,
+// and the transition heat profile — so new ones are flagged.
+//
+// Routing predicates that merely partition message types without consulting
+// controller state (e.g. Msg.toBank) are waived with //lockiller:rawdispatch
+// plus a justification, ideally naming the test that cross-checks the switch
+// against the tables.
+package tabledispatch
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the tabledispatch pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tabledispatch",
+	Doc:  "flags raw switches over MsgType in the coherence package; dispatch through the protocol tables",
+	Run:  run,
+}
+
+// tablePkgs are the packages whose MsgType decisions must go through the
+// transition tables. Matching is by package name, like the deterministic and
+// hot sets, so analysistest fixtures opt in by naming their package
+// "coherence". The proto engine itself is a different package and is exempt.
+var tablePkgs = map[string]bool{"coherence": true}
+
+func run(pass *analysis.Pass) error {
+	if !tablePkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			if !isMsgType(pass, sw.Tag) {
+				return true
+			}
+			if pass.Waived(sw, analysis.DirectiveRawDispatch) {
+				return true
+			}
+			pass.Reportf(sw.Pos(),
+				"raw switch over MsgType in package %q bypasses the protocol transition tables; add a table row (internal/coherence/tables.go) or waive a stateless routing predicate with //%s",
+				pass.Pkg.Name(), analysis.DirectiveRawDispatch)
+			return true
+		})
+	}
+	return nil
+}
+
+// isMsgType reports whether e's type is a named type called MsgType —
+// coherence.MsgType in the real tree, a local stand-in in fixtures.
+func isMsgType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj().Name() == "MsgType"
+}

@@ -1,0 +1,12 @@
+package tabledispatch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tabledispatch"
+)
+
+func TestTableDispatch(t *testing.T) {
+	analysistest.Run(t, tabledispatch.Analyzer, "flagged", "clean", "otherpkg")
+}

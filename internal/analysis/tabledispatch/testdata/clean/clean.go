@@ -1,0 +1,45 @@
+// Fixture: waived routing predicates, tag-free switches, and switches over
+// other types are not flagged.
+package coherence
+
+type MsgType uint8
+
+const (
+	MsgGetS MsgType = iota
+	MsgGetM
+)
+
+type Msg struct {
+	Type MsgType
+	Dst  int
+}
+
+// toBank is stateless routing, not a protocol decision.
+func (m *Msg) toBank() bool {
+	//lockiller:rawdispatch routing predicate, cross-checked by TestMsgRoutingMatchesTables
+	switch m.Type {
+	case MsgGetS, MsgGetM:
+		return true
+	}
+	return false
+}
+
+func describe(m *Msg) string {
+	// A tag-free switch over boolean conditions is ordinary control flow.
+	switch {
+	case m.Dst < 0:
+		return "invalid"
+	case m.Dst == 0:
+		return "home"
+	}
+	return "remote"
+}
+
+func route(dst int) int {
+	// Switching over a non-MsgType value is fine.
+	switch dst {
+	case 0:
+		return 1
+	}
+	return dst
+}

@@ -1,0 +1,34 @@
+// Fixture: raw MsgType switches in a package named coherence are flagged.
+package coherence
+
+type MsgType uint8
+
+const (
+	MsgGetS MsgType = iota
+	MsgGetM
+	MsgInv
+)
+
+type Msg struct {
+	Type MsgType
+	Line uint64
+}
+
+type L1 struct{ hits int }
+
+func (l1 *L1) Receive(m *Msg) {
+	switch m.Type { // want `raw switch over MsgType`
+	case MsgGetS:
+		l1.hits++
+	case MsgGetM:
+		l1.hits--
+	}
+}
+
+func classify(t MsgType) int {
+	switch t { // want `raw switch over MsgType`
+	case MsgInv:
+		return 1
+	}
+	return 0
+}

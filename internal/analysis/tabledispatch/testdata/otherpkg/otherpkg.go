@@ -1,0 +1,18 @@
+// Fixture: packages other than coherence (here the proto engine itself) may
+// switch over MsgType freely.
+package proto
+
+type MsgType uint8
+
+const (
+	MsgGetS MsgType = iota
+	MsgGetM
+)
+
+func flits(t MsgType) int {
+	switch t {
+	case MsgGetS, MsgGetM:
+		return 1
+	}
+	return 5
+}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/cache"
+	"repro/internal/coherence/proto"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -148,47 +149,25 @@ func (b *Bank) OnEvent(kind uint8, a uint64, p any) {
 }
 
 // Receive is the bank's message input, invoked by the NoC after delivery.
-// It owns m: each arm either recycles the message or stores it (the blocked
-// queue, or the pending-request slot — recycled at reopen).
-func (b *Bank) Receive(m *Msg) {
-	switch m.Type {
-	case MsgGetS, MsgGetM:
-		b.Requests++
-		d := b.line(m.Line)
-		if d.busy {
-			d.queue = append(d.queue, m) // ownership moves to the queue
-			return
+// It owns m and dispatches it through the bank.receive table: each
+// transition's action sequence either recycles the message (free-msg) or
+// moves its ownership to a store (the blocked queue, or the pending-request
+// slot — recycled at reopen).
+func (b *Bank) Receive(m *Msg) { b.dispatch(m, false) }
+
+// dispatch classifies the line's blocking transient and runs the table.
+// queued marks a re-dispatch from the blocked queue (drainQueue), which
+// skips the request count already charged at first receipt.
+func (b *Bank) dispatch(m *Msg, queued bool) {
+	s := bkIdle
+	if d := b.dir[m.Line]; d != nil && d.busy {
+		s = bkBusy
+		if d.pend.evictCont != nil {
+			s = bkEvict
 		}
-		b.service(d, m)
-	case MsgPutM, MsgPutE:
-		d := b.line(m.Line)
-		if d.busy {
-			d.queue = append(d.queue, m)
-			return
-		}
-		b.handlePut(d, m)
-		b.sys.free(m)
-	case MsgTxWB:
-		// Pre-transactional writeback: refresh the LLC copy immediately,
-		// even while busy — it is response-class traffic and the owner is
-		// unchanged.
-		b.fillLLC(m.Line, nil)
-		b.sys.free(m)
-	case MsgOwnerData, MsgNack, MsgRejectFwd:
-		b.ownerReply(m)
-		b.sys.free(m)
-	case MsgInvAck, MsgInvReject:
-		b.invReply(m)
-		b.sys.free(m)
-	case MsgUnblock:
-		b.unblock(m)
-		b.sys.free(m)
-	case MsgHLApply, MsgHLRelease, MsgSigAdd:
-		b.arbiterMsg(m)
-		b.sys.free(m)
-	default:
-		panic(fmt.Sprintf("coherence: bank %d cannot handle %v", b.id, m.Type))
 	}
+	bankRecvTable.Dispatch(s, proto.Event(m.Type), bankMsgCtx{b: b, m: m, queued: queued},
+		b.sys.fired[tblBankRecv])
 }
 
 // service begins working on a GetS/GetM for an idle line.
@@ -217,45 +196,41 @@ func (b *Bank) service(d *dirLine, m *Msg) {
 	b.ensureLLC(m.Line, func() { b.serviceWithData(d, m) })
 }
 
-// serviceWithData continues once the LLC holds the line.
+// serviceWithData continues once the LLC holds the line, dispatching the
+// stable-state service decision through the bank.service table.
 func (b *Bank) serviceWithData(d *dirLine, m *Msg) {
-	switch d.state {
-	case dirI:
-		b.sendData(d, MsgDataE)
-	case dirS:
-		if m.Type == MsgGetS {
-			b.sendData(d, MsgDataS)
-			return
-		}
-		// GetM over sharers: invalidate everyone but the requester.
-		n := 0
-		for c := 0; c < b.sys.Cores; c++ {
-			if c != m.Requester && d.isSharer(c) {
-				n++
-				b.send(Msg{Type: MsgInv, Line: m.Line, Dst: c,
-					Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
-			}
-		}
-		if n == 0 {
-			b.sendData(d, MsgDataE)
-			return
-		}
-		d.pend.invAcksLeft = n
-	case dirEM:
-		if d.owner == m.Requester {
-			// The owner re-requests a line it silently dropped (abort or
-			// race); the LLC copy is the pre-transactional value.
-			b.sendData(d, MsgDataE)
-			return
-		}
-		fwd := MsgFwdGetS
-		if m.Type == MsgGetM {
-			fwd = MsgFwdGetM
-		}
-		b.send(Msg{Type: fwd, Line: m.Line, Dst: d.owner,
-			Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode,
-			Write: m.Type == MsgGetM})
+	evt := svcLoad
+	if m.Type == MsgGetM {
+		evt = svcStore
 	}
+	bankSvcTable.Dispatch(proto.State(d.state), evt, bankSvcCtx{b: b, d: d, m: m},
+		b.sys.fired[tblBankSvc])
+}
+
+// fanoutInv invalidates every sharer but the requester (GetM over sharers);
+// the guard guarantees at least one target.
+func (b *Bank) fanoutInv(d *dirLine, m *Msg) {
+	n := 0
+	for c := 0; c < b.sys.Cores; c++ {
+		if c != m.Requester && d.isSharer(c) {
+			n++
+			b.send(Msg{Type: MsgInv, Line: m.Line, Dst: c,
+				Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
+		}
+	}
+	d.pend.invAcksLeft = n
+}
+
+// fwdToOwner forwards the request to the current owner, piggybacking the
+// requester's priority and mode for conflict arbitration.
+func (b *Bank) fwdToOwner(d *dirLine, m *Msg) {
+	fwd := MsgFwdGetS
+	if m.Type == MsgGetM {
+		fwd = MsgFwdGetM
+	}
+	b.send(Msg{Type: fwd, Line: m.Line, Dst: d.owner,
+		Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode,
+		Write: m.Type == MsgGetM})
 }
 
 // sendData sends the final data response for the pending request after the
@@ -290,104 +265,89 @@ func (b *Bank) reopen(d *dirLine) {
 	b.drainQueue(d)
 }
 
+// drainQueue re-dispatches parked requests through the receive table until
+// the line goes busy again or the queue empties — the single queue-drain
+// path shared by reopen and every other unblocking site.
 func (b *Bank) drainQueue(d *dirLine) {
 	for len(d.queue) > 0 && !d.busy {
 		m := d.queue[0]
 		d.queue = d.queue[1:]
-		switch m.Type {
-		case MsgGetS, MsgGetM:
-			b.service(d, m)
-		case MsgPutM, MsgPutE:
-			b.handlePut(d, m)
-			b.sys.free(m)
-		default:
-			panic(fmt.Sprintf("coherence: queued %v", m.Type))
-		}
+		b.dispatch(m, true)
 	}
 }
 
-// ownerReply handles the owner's answer to a forward.
-func (b *Bank) ownerReply(m *Msg) {
-	d := b.dir[m.Line]
-	if d == nil || !d.busy || d.pend == nil {
-		panic(fmt.Sprintf("coherence: stray owner reply %v for line %d", m.Type, m.Line))
-	}
-	req := d.pend.req
-	switch m.Type {
-	case MsgOwnerData:
-		b.fillLLC(m.Line, nil)
-		if req.Type == MsgGetS {
-			// Owner downgraded to S and stays a sharer.
-			old := d.owner
-			d.state = dirS
-			d.owner = -1
-			d.sharers = 0
-			d.addSharer(old)
-			b.sendData(d, MsgDataS)
-		} else {
-			d.state = dirI
-			d.owner = -1
-			d.sharers = 0
-			b.sendData(d, MsgDataE)
-		}
-	case MsgNack:
-		// Fig. 3: the owner invalidated itself (transaction abort or
-		// eviction race); the directory serves exclusive data from the LLC
-		// and will hand ownership to the requester.
-		b.Nacks++
-		if b.sys.Tracer.Enabled(trace.CatProto) {
-			b.sys.Tracer.Emitf(b.id, trace.CatProto, m.Line, "NACK from c%d: serve LLC to c%d", m.Src, req.Requester)
-		}
-		d.state = dirI
+// takeOwnerData accepts the owner's data: the owner downgraded to S (GetS,
+// staying a sharer) or invalidated itself (GetM grant).
+func (b *Bank) takeOwnerData(d *dirLine, m *Msg) {
+	b.fillLLC(m.Line, nil)
+	if d.pend.req.Type == MsgGetS {
+		old := d.owner
+		d.state = dirS
 		d.owner = -1
 		d.sharers = 0
-		b.sendData(d, MsgDataE)
-	case MsgRejectFwd:
-		// The owner wins the conflict: withdraw the toxic request, leaving
-		// the owner's state untouched (Fig. 4).
-		b.reject(d, m.RejectorMode)
-	}
-}
-
-// invReply collects invalidation acknowledgements for a GetM over sharers.
-func (b *Bank) invReply(m *Msg) {
-	d := b.dir[m.Line]
-	if d == nil || !d.busy || d.pend == nil {
-		panic(fmt.Sprintf("coherence: stray inv reply for line %d", m.Line))
-	}
-	if d.pend.evictCont != nil {
-		b.evictReply(d, m)
+		d.addSharer(old)
+		b.sendData(d, MsgDataS)
 		return
 	}
-	switch m.Type {
-	case MsgInvAck:
-		d.dropSharer(m.Src)
-	case MsgInvReject:
-		d.pend.rejected = true
-		d.pend.rejectorMode = m.RejectorMode
+	d.state = dirI
+	d.owner = -1
+	d.sharers = 0
+	b.sendData(d, MsgDataE)
+}
+
+// ownerNacked serves the pending request from the LLC: the owner invalidated
+// itself (transaction abort or eviction race) and the requester will take
+// ownership (Fig. 3).
+func (b *Bank) ownerNacked(d *dirLine, m *Msg) {
+	b.Nacks++
+	if b.sys.Tracer.Enabled(trace.CatProto) {
+		b.sys.Tracer.Emitf(b.id, trace.CatProto, m.Line, "NACK from c%d: serve LLC to c%d", m.Src, d.pend.req.Requester)
 	}
+	d.state = dirI
+	d.owner = -1
+	d.sharers = 0
+	b.sendData(d, MsgDataE)
+}
+
+// ownerRejected withdraws the toxic request: the owner won the conflict and
+// keeps its state untouched (Fig. 4).
+func (b *Bank) ownerRejected(d *dirLine, m *Msg) {
+	b.reject(d, m.RejectorMode)
+}
+
+// collectInvAck records one sharer's invalidation for a GetM over sharers.
+func (b *Bank) collectInvAck(d *dirLine, m *Msg) {
+	d.dropSharer(m.Src)
+	b.finishInvRound(d)
+}
+
+// collectInvReject records a sharer that kept its copy (won arbitration).
+func (b *Bank) collectInvReject(d *dirLine, m *Msg) {
+	d.pend.rejected = true
+	d.pend.rejectorMode = m.RejectorMode
+	b.finishInvRound(d)
+}
+
+// finishInvRound closes the invalidation round once every sharer answered:
+// any rejection withdraws the request (the innocently invalidated sharers
+// stay invalid — conservative; the rejecting sharers keep their copies),
+// otherwise exclusive data is granted.
+func (b *Bank) finishInvRound(d *dirLine) {
 	d.pend.invAcksLeft--
 	if d.pend.invAcksLeft > 0 {
 		return
 	}
 	if d.pend.rejected {
-		// At least one transactional sharer defeated the request. The
-		// innocently invalidated sharers stay invalid (conservative); the
-		// rejecting sharers keep their copies.
 		b.reject(d, d.pend.rejectorMode)
 		return
 	}
 	b.sendData(d, MsgDataE)
 }
 
-// unblock finalizes the pending request: the requester reached a stable
-// state, so the directory commits the new owner/sharer map and reopens the
-// line (the SS transition of Fig. 3).
-func (b *Bank) unblock(m *Msg) {
-	d := b.dir[m.Line]
-	if d == nil || !d.busy || d.pend == nil {
-		panic(fmt.Sprintf("coherence: stray unblock for line %d", m.Line))
-	}
+// commitUnblock finalizes the pending request: the requester reached a
+// stable state, so the directory commits the new owner/sharer map and
+// reopens the line (the SS transition of Fig. 3).
+func (b *Bank) commitUnblock(d *dirLine, m *Msg) {
 	if m.Excl {
 		d.state = dirEM
 		d.owner = m.Src
@@ -415,36 +375,46 @@ func (b *Bank) handlePut(d *dirLine, m *Msg) {
 	d.sharers = 0
 }
 
-// arbiterMsg handles HTMLock arbitration traffic at the arbiter bank.
-func (b *Bank) arbiterMsg(m *Msg) {
+// arbiter returns the HTMLock arbiter hosted at this bank's tile, panicking
+// on arbitration traffic in a configuration without one.
+func (b *Bank) arbiter() *htm.Arbiter {
 	a := b.sys.Arbiter
 	if a == nil {
 		panic("coherence: arbiter message without HTMLock")
 	}
+	return a
+}
+
+// arbApply handles an HLApply at the arbiter bank: an atomic grant-or-deny
+// for switchingMode applications (Fig. 6), or a waited-out grant for a TL
+// application (the caller holds the fallback lock; it may still have to wait
+// out an active STL transaction).
+func (b *Bank) arbApply(m *Msg) {
+	a := b.arbiter()
 	core := m.Requester
-	switch m.Type {
-	case MsgHLApply:
-		if m.ReqMode == htm.STL {
-			// switchingMode application: atomic grant-or-deny (Fig. 6).
-			t := MsgHLDeny
-			if a.ApplySTL(core) {
-				t = MsgHLGrant
-			}
-			b.sendAfter(b.sys.DirLatency, Msg{Type: t, Dst: core, Requester: core})
-			return
+	if m.ReqMode == htm.STL {
+		t := MsgHLDeny
+		if a.ApplySTL(core) {
+			t = MsgHLGrant
 		}
-		// TL application: the caller holds the fallback lock; it may still
-		// have to wait out an active STL transaction.
-		a.ApplyTL(core, func() {
-			b.sendAfter(b.sys.DirLatency, Msg{Type: MsgHLGrant, Dst: core, Requester: core})
-		})
-	case MsgHLRelease:
-		a.Release(core)
-	case MsgSigAdd:
-		// The shared signature state was already updated synchronously at
-		// the evicting L1 (modeling replicated signature registers); this
-		// message accounts for the update's NoC bandwidth only.
+		b.sendAfter(b.sys.DirLatency, Msg{Type: t, Dst: core, Requester: core})
+		return
 	}
+	a.ApplyTL(core, func() {
+		b.sendAfter(b.sys.DirLatency, Msg{Type: MsgHLGrant, Dst: core, Requester: core})
+	})
+}
+
+// arbRelease handles an HLRelease (hlend) at the arbiter bank.
+func (b *Bank) arbRelease(m *Msg) {
+	b.arbiter().Release(m.Requester)
+}
+
+// sigBandwidth accounts for a SigAdd's NoC bandwidth. The shared signature
+// state was already updated synchronously at the evicting L1 (modeling
+// replicated signature registers), so there is nothing else to do.
+func (b *Bank) sigBandwidth() {
+	_ = b.arbiter()
 }
 
 // ensureLLC guarantees the LLC holds the line, fetching from memory (and
@@ -564,13 +534,11 @@ func (b *Bank) backInvalidate(l mem.Line, cont func()) {
 	}
 }
 
-// evictReply collects back-invalidation acks. L1s may not reject an LLC
+// collectEvictAck collects back-invalidation acks. L1s may not reject an LLC
 // recall (lock-transaction lines are shielded by victim selection; HTM
-// transactions abort with a capacity cause instead).
-func (b *Bank) evictReply(d *dirLine, m *Msg) {
-	if m.Type == MsgInvReject {
-		panic("coherence: L1 rejected an LLC back-invalidation")
-	}
+// transactions abort with a capacity cause instead) — an InvReject in the
+// evicting state is a declared protocol violation in the receive table.
+func (b *Bank) collectEvictAck(d *dirLine, m *Msg) {
 	d.pend.evictAcks--
 	if d.pend.evictAcks > 0 {
 		return

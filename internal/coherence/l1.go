@@ -2,12 +2,11 @@ package coherence
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/coherence/proto"
 	"repro/internal/htm"
 	"repro/internal/mem"
-	"repro/internal/priority"
 	"repro/internal/trace"
 )
 
@@ -187,7 +186,7 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 		l1.MidHits++
 		gdone := l1.guard(done)
 		//lockiller:alloc-ok three-level baseline only; the promote carries two pointers + a flag, which the typed payload cannot hold unboxed
-		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, gdone) })
+		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(line, me, write, gdone) })
 		return
 	}
 	l1.Misses++
@@ -300,12 +299,13 @@ func (l1 *L1) allocateWay(line mem.Line, write bool, gdone func()) *cache.Entry 
 	return v
 }
 
-// overflow handles a transactional set overflow: lock transactions spill a
-// line into the LLC signatures; HTM transactions try switchingMode once,
-// then abort with a capacity cause.
+// overflow handles a transactional set overflow by consulting the system's
+// OverflowPolicy: lock transactions spill a line into the LLC signatures;
+// under switchingMode an HTM transaction's first own-allocation overflow
+// applies for STL authorization; otherwise it aborts with a capacity cause.
 func (l1 *L1) overflow(line mem.Line, write bool, gdone func()) {
-	switch {
-	case l1.Tx.Mode.Lock():
+	switch l1.sys.HTM.Overflow.Decide(l1.Tx.Mode, l1.Tx.TriedSwitch, false) {
+	case htm.OverflowSpill:
 		v := l1.arr.AnyVictim(line)
 		if v == nil {
 			panic(fmt.Sprintf("coherence: L1 %d set wedged for line %d", l1.core, line))
@@ -317,15 +317,16 @@ func (l1 *L1) overflow(line mem.Line, write bool, gdone func()) {
 		}
 		l1.arr.Install(v, line, st)
 		l1.issue(line, write, gdone)
-	case l1.Tx.Mode == htm.HTM && l1.sys.HTM.SwitchingMode && !l1.Tx.TriedSwitch:
+	case htm.OverflowSwitch:
 		// Fig. 6: revoke the request, enter applyingHLA, apply to the LLC
 		// for STL authorization, and re-issue the revoked request after the
 		// decision (retrying it as the lock-mode spill path on grant).
 		l1.trySwitch(func() { l1.allocateAndIssue(line, write, gdone) })
-	case l1.Tx.Mode == htm.HTM:
-		l1.abortTx(htm.CauseOverflow)
 	default:
-		panic(fmt.Sprintf("coherence: L1 %d overflow outside a transaction (mode %v)", l1.core, l1.Tx.Mode))
+		if l1.Tx.Mode != htm.HTM {
+			panic(fmt.Sprintf("coherence: L1 %d overflow outside a transaction (mode %v)", l1.core, l1.Tx.Mode))
+		}
+		l1.abortTx(htm.CauseOverflow)
 	}
 }
 
@@ -418,50 +419,43 @@ func (l1 *L1) sendReq(m *mshr) {
 		Requester: l1.core, Prio: l1.Tx.Priority(), ReqMode: l1.Tx.Mode})
 }
 
-// Receive is the L1's message input. It owns m: each arm either recycles
-// the message or stores it (the applyingHLA queue), after which the drain
-// loop re-enters Receive and the normal rules apply.
+// Receive is the L1's message input. It owns m and dispatches it through the
+// l1.receive table: each transition's action sequence either recycles the
+// message (free-msg) or moves its ownership to a store (queue-external; the
+// drain loop re-enters Receive and the normal rules apply).
 func (l1 *L1) Receive(m *Msg) {
-	switch m.Type {
-	case MsgDataS, MsgDataE:
-		l1.fill(m)
-		l1.sys.free(m)
-	case MsgReject:
-		l1.rejected(m)
-		l1.sys.free(m)
-	case MsgFwdGetS, MsgFwdGetM:
-		if l1.applying {
-			l1.blockedExt = append(l1.blockedExt, m) // ownership moves to the queue
-			return
-		}
-		l1.forwarded(m)
-		l1.sys.free(m)
-	case MsgInv:
-		if l1.applying {
-			l1.blockedExt = append(l1.blockedExt, m)
-			return
-		}
-		l1.invalidated(m)
-		l1.sys.free(m)
-	case MsgWakeUp:
-		l1.wakeParked()
-		l1.sys.free(m)
-	case MsgHLGrant, MsgHLDeny:
-		if l1.applyCont == nil {
-			panic(fmt.Sprintf("coherence: L1 %d stray %v", l1.core, m.Type))
-		}
-		cont := l1.applyCont
-		l1.applyCont = nil
-		granted := m.Type == MsgHLGrant
-		l1.sys.free(m)
-		cont(granted)
-	default:
-		panic(fmt.Sprintf("coherence: L1 %d cannot handle %v", l1.core, m.Type))
+	s := l1Ready
+	if l1.applying {
+		s = l1Applying
 	}
+	l1RecvTable.Dispatch(s, proto.Event(m.Type), l1MsgCtx{l1: l1, m: m}, l1.sys.fired[tblL1Recv])
 }
 
-// fill completes a miss: install data, settle the stable state, unblock the
-// directory, and release the CPU and any waiters.
+// queueExternal parks an external request while an HLApply is outstanding
+// (applyingHLA, Fig. 6); message ownership moves to the queue.
+func (l1 *L1) queueExternal(m *Msg) {
+	l1.blockedExt = append(l1.blockedExt, m)
+}
+
+// applyDecision resolves an outstanding HLApply with the arbiter's verdict.
+// The message is freed before the continuation runs (it may re-enter the
+// allocator through the retried request).
+func (l1 *L1) applyDecision(m *Msg) {
+	if l1.applyCont == nil {
+		panic(fmt.Sprintf("coherence: L1 %d stray %v", l1.core, m.Type))
+	}
+	cont := l1.applyCont
+	l1.applyCont = nil
+	granted := m.Type == MsgHLGrant
+	l1.sys.free(m)
+	cont(granted)
+}
+
+// fill completes a miss: the l1.fill table settles the transient into its
+// stable state (the To column is authoritative — the dispatch result is
+// assigned to the entry), and its actions unblock the directory and release
+// the CPU and any waiters. A fill for a line in a stable state is a
+// declared protocol violation; dispatch panics with the recorded reason.
 func (l1 *L1) fill(m *Msg) {
 	ms := l1.mshrs[m.Line]
 	if ms == nil {
@@ -469,35 +463,44 @@ func (l1 *L1) fill(m *Msg) {
 	}
 	delete(l1.mshrs, m.Line)
 	e := l1.arr.Lookup(m.Line)
-	if e == nil || !e.State.Transient() {
-		panic(fmt.Sprintf("coherence: L1 %d fill for line %d in state %v", l1.core, m.Line, e))
+	if e == nil {
+		panic(fmt.Sprintf("coherence: L1 %d fill for uncached line %d", l1.core, m.Line))
 	}
-	excl := m.Type == MsgDataE
-	if excl {
-		if ms.write {
-			e.State = cache.Modified
-			e.Dirty = true
-		} else {
-			e.State = cache.Exclusive
+	evt := fillDataS
+	if m.Type == MsgDataE {
+		evt = fillDataE
+	}
+	e.State = cache.State(l1FillTable.Dispatch(proto.State(e.State), evt,
+		l1FillCtx{l1: l1, m: m, e: e, ms: ms}, l1.sys.fired[tblL1Fill]))
+}
+
+// fillTxBits applies transactional metadata to a freshly filled line, but
+// only if the requesting attempt is still the live one; a post-abort fill
+// installs the line non-transactionally.
+func (l1 *L1) fillTxBits(ms *mshr, e *cache.Entry) {
+	if !ms.txBits || ms.epoch != l1.epoch || !l1.tracking() {
+		return
+	}
+	if ms.write {
+		if !e.TxWrite {
+			e.TxWrite = true
+			l1.Tx.WriteLines++
 		}
-	} else {
-		e.State = cache.Shared
+	} else if !e.TxRead {
+		e.TxRead = true
+		l1.Tx.ReadLines++
 	}
-	// Transactional bits apply only if the requesting attempt is still the
-	// live one; a post-abort fill installs the line non-transactionally.
-	if ms.txBits && ms.epoch == l1.epoch && l1.tracking() {
-		if ms.write {
-			if !e.TxWrite {
-				e.TxWrite = true
-				l1.Tx.WriteLines++
-			}
-		} else if !e.TxRead {
-			e.TxRead = true
-			l1.Tx.ReadLines++
-		}
-	}
+}
+
+// fillUnblock tells the home directory the requester reached a stable state
+// (the SS transition of Fig. 3).
+func (l1 *L1) fillUnblock(m *Msg) {
 	l1.send(Msg{Type: MsgUnblock, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-		Requester: l1.core, Excl: excl})
+		Requester: l1.core, Excl: m.Type == MsgDataE})
+}
+
+// fillComplete releases the CPU and any waiters after the L1 access latency.
+func (l1 *L1) fillComplete(ms *mshr) {
 	l1.sys.Engine.AfterEvent(l1.sys.L1Hit, l1, evL1MshrDone, 0, ms)
 }
 
@@ -529,25 +532,13 @@ func (l1 *L1) rejected(m *Msg) {
 		l1.resolveParked(ms)
 		return
 	}
-	if l1.Tx.Mode == htm.HTM {
-		switch l1.sys.HTM.RejectPolicy {
-		case htm.SelfAbort:
-			l1.resolveParked(ms)
-			l1.abortTx(l1.causeFromRejector(m))
-			return
-		case htm.RetryLater:
-			l1.park(ms, l1.sys.HTM.RetryBackoff)
-			return
-		case htm.WaitWakeup:
-			l1.park(ms, l1.sys.HTM.RejectTimeout)
-			return
-		}
+	dec := l1.sys.HTM.Conflict.Rejected(l1.Tx.Mode)
+	if dec.Abort {
+		l1.resolveParked(ms)
+		l1.abortTx(l1.causeFromRejector(m))
+		return
 	}
-	// Plain, mutex-mode, and lock-mode requesters always hold and retry:
-	// they have no transaction to abort. (A lock transaction is never
-	// rejected — it carries the maximum priority — but a signature race
-	// during its entry resolves here too.)
-	l1.park(ms, l1.sys.HTM.RejectTimeout)
+	l1.park(ms, dec.Timeout)
 }
 
 // causeFromRejector classifies the abort cause when a rejected transaction
@@ -556,7 +547,7 @@ func (l1 *L1) causeFromRejector(m *Msg) htm.AbortCause {
 	if m.Line == l1.sys.LockLine {
 		return htm.CauseMutex
 	}
-	return CauseFor(m.RejectorMode)
+	return l1.sys.HTM.Conflict.RejectorCause(m.RejectorMode)
 }
 
 // park holds a rejected request in the MSHR and schedules a retry after the
@@ -580,16 +571,22 @@ func (l1 *L1) wakeParked() {
 }
 
 // sortedMshrs returns the MSHRs in ascending line order, reusing a scratch
-// slice so steady-state iteration does not allocate.
+// slice so steady-state iteration does not allocate (sort.Slice would box
+// its comparator; see TestSortedMshrsNoAlloc). Insertion sort is exact here:
+// lines are unique map keys and the population is MSHR-sized (a handful).
 func (l1 *L1) sortedMshrs() []*mshr {
-	l1.mshrScratch = l1.mshrScratch[:0]
+	s := l1.mshrScratch[:0]
+	//lockiller:ordered the loop body is an insertion sort by line (unique keys), so the result is a total order independent of map iteration
 	for _, ms := range l1.mshrs {
-		l1.mshrScratch = append(l1.mshrScratch, ms)
+		i := len(s)
+		s = append(s, ms)
+		for ; i > 0 && s[i-1].line > ms.line; i-- {
+			s[i] = s[i-1]
+		}
+		s[i] = ms
 	}
-	sort.Slice(l1.mshrScratch, func(i, j int) bool {
-		return l1.mshrScratch[i].line < l1.mshrScratch[j].line
-	})
-	return l1.mshrScratch
+	l1.mshrScratch = s
+	return s
 }
 
 // retry re-sends a parked request. The array entry was restored on reject,
@@ -616,9 +613,9 @@ func (l1 *L1) retry(ms *mshr) {
 	// Re-allocate a way; the set may have changed since the reject.
 	if me := l1.midLookup(ms.line); me != nil && me.State.Valid() {
 		delete(l1.mshrs, ms.line)
-		write, done := ms.write, ms.done // the MSHR is recycled before the promote fires
+		line, write, done := ms.line, ms.write, ms.done // the MSHR is recycled before the promote fires
 		//lockiller:alloc-ok three-level baseline only; the promote carries two pointers + a flag, which the typed payload cannot hold unboxed
-		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(me, write, done) })
+		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(line, me, write, done) })
 		for _, w := range ms.waiters {
 			w()
 		}
@@ -679,54 +676,73 @@ func (l1 *L1) resolveParked(ms *mshr) {
 }
 
 // forwarded handles FwdGetS/FwdGetM: the conflict-detection and resolution
-// core of the protocol (paper Fig. 4).
+// core of the protocol (paper Fig. 4). It classifies the held copy by its
+// transactional bits and dispatches through the l1.forward table; conflict
+// arbitration, rejection, and the victim abort are the table's guarded rows.
 func (l1 *L1) forwarded(m *Msg) {
 	e := l1.arr.Peek(m.Line)
 	inL1 := e != nil && e.State.Valid()
 	if !inL1 {
-		if me := l1.midLookup(m.Line); me != nil && me.State.Valid() {
-			e = me // three-level: the private middle cache holds the line
-		} else {
-			// We no longer hold the line (transaction abort or eviction
-			// race): tell the directory to serve from the LLC and move
-			// ownership — the NACK flow of Fig. 3.
-			l1.NacksSent++
-			l1.send(Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
-			return
+		e = l1.midLookup(m.Line) // three-level: the middle cache may hold it
+		if e != nil && !e.State.Valid() {
+			e = nil
 		}
 	}
-	conflict := e.TxWrite || (e.Tx() && m.Type == MsgFwdGetM)
-	if conflict && l1.Tx.InTx() {
-		if l1.ownerWins(m) {
-			l1.RejectsSent++
-			l1.noteRejected(m)
-			if l1.sys.Tracer.Enabled(trace.CatConflict) {
-				l1.sys.Tracer.Emitf(l1.core, trace.CatConflict, m.Line,
-					"reject %v from c%d (own prio %d vs %d)", m.Type, m.Requester, l1.Tx.Priority(), m.Prio)
-			}
-			l1.sendAfter(l1.arbDelay(), Msg{Type: MsgRejectFwd, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-				Requester: m.Requester, RejectorMode: l1.Tx.Mode})
-			return
-		}
-		// Requester-win: abort and NACK so the directory hands the
-		// (pre-transactional, LLC-resident) data to the requester. The
-		// abort drops write-set lines; a conflicting line we only read
-		// (e.g. an FwdGetM over a TxRead Exclusive line) survives it and
-		// must be invalidated here — the requester becomes the owner.
-		l1.abortTx(l1.victimCause(m))
-		if e.State.Valid() {
-			e.State = cache.Invalid
-			e.Dirty = false
-			e.TxRead = false
-			e.TxWrite = false
-		}
-		l1.NacksSent++
-		l1.send(Msg{Type: MsgNack, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
-		return
+	s := fwdNone
+	switch {
+	case e == nil:
+	case e.TxWrite:
+		s = fwdTxWrite
+	case e.Tx():
+		s = fwdTxRead
+	default:
+		s = fwdPlain
 	}
-	// No conflict: ordinary ownership transfer / downgrade. The deferred
-	// flush path below runs after m is recycled, so it captures the fields
-	// it needs rather than the message.
+	evt := fwdLoad
+	if m.Type == MsgFwdGetM {
+		evt = fwdStore
+	}
+	l1FwdTable.Dispatch(s, evt, l1FwdCtx{l1: l1, m: m, e: e, inL1: inL1}, l1.sys.fired[tblL1Fwd])
+}
+
+// nack tells the directory we no longer hold the line (transaction abort or
+// eviction race): serve from the LLC and move ownership — the NACK flow of
+// Fig. 3.
+func (l1 *L1) nack(line mem.Line, requester int) {
+	l1.NacksSent++
+	l1.send(Msg{Type: MsgNack, Line: line, Dst: l1.sys.HomeBank(line), Requester: requester})
+}
+
+// fwdReject withdraws a toxic forwarded request: this transactional owner
+// won arbitration and keeps its copy (Fig. 4).
+func (l1 *L1) fwdReject(m *Msg) {
+	l1.RejectsSent++
+	l1.noteRejected(m)
+	if l1.sys.Tracer.Enabled(trace.CatConflict) {
+		l1.sys.Tracer.Emitf(l1.core, trace.CatConflict, m.Line,
+			"reject %v from c%d (own prio %d vs %d)", m.Type, m.Requester, l1.Tx.Priority(), m.Prio)
+	}
+	l1.sendAfter(l1.arbDelay(), Msg{Type: MsgRejectFwd, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+		Requester: m.Requester, RejectorMode: l1.Tx.Mode})
+}
+
+// dropAfterConflict invalidates the conflicting line after this owner lost
+// arbitration and aborted. The abort drops write-set lines; a conflicting
+// line we only read (e.g. an FwdGetM over a TxRead Exclusive line) survives
+// it and must be invalidated here — the requester becomes the owner.
+func (l1 *L1) dropAfterConflict(e *cache.Entry) {
+	if e.State.Valid() {
+		e.State = cache.Invalid
+		e.Dirty = false
+		e.TxRead = false
+		e.TxWrite = false
+	}
+}
+
+// respondForward performs the ordinary ownership transfer / downgrade for a
+// non-conflicting forward. The deferred flush path runs after m is recycled,
+// so it captures the fields it needs rather than the message.
+func (l1 *L1) respondForward(m *Msg, e *cache.Entry, inL1 bool) {
 	line, req, getS := m.Line, m.Requester, m.Type == MsgFwdGetS
 	respond := func(e *cache.Entry) {
 		if getS {
@@ -746,13 +762,32 @@ func (l1 *L1) forwarded(m *Msg) {
 		// The three-level odd design: flush the line from the L1 to the
 		// middle cache before answering — even for plain loads — paying
 		// the middle-cache latency and losing the L1 copy (§IV-A).
+		mv := *m // value copy: the pooled message is recycled before the flush runs
 		//lockiller:alloc-ok three-level baseline only; the deferred forward reply needs the entry, line, requester, and flavor
 		l1.sys.Engine.After(l1.sys.MidHit, func() {
 			if !e.State.Valid() {
 				// The line moved while the flush was in flight (abort).
-				l1.NacksSent++
-				l1.send(Msg{Type: MsgNack, Line: line, Dst: l1.sys.HomeBank(line), Requester: req})
+				l1.nack(line, req)
 				return
+			}
+			if e.TxWrite || (e.Tx() && !getS) {
+				// The line joined a transaction during the flush delay, so
+				// the no-conflict classification that routed us here is
+				// stale. Re-arbitrate as the l1.forward table would have.
+				if l1.Tx.InTx() {
+					if l1.ownerWins(&mv) {
+						l1.fwdReject(&mv)
+						return
+					}
+					l1.abortTx(l1.victimCause(&mv))
+					l1.dropAfterConflict(e)
+					l1.nack(line, req)
+					return
+				}
+				// Speculative bits without a live transaction are leftovers
+				// of an attempt that already ended; scrub them before the
+				// downgrade rather than hand them to the middle cache.
+				e.TxRead, e.TxWrite = false, false
 			}
 			if me := l1.midFlushForForward(e); me != nil {
 				respond(me)
@@ -766,56 +801,60 @@ func (l1 *L1) forwarded(m *Msg) {
 }
 
 // invalidated handles Inv: either a GetM over sharers or an LLC
-// back-invalidation (Requester == -1).
+// back-invalidation recall (Requester == -1). It classifies the held copy
+// and dispatches through the l1.invalidate table.
 func (l1 *L1) invalidated(m *Msg) {
 	e := l1.arr.Peek(m.Line)
-	ack := func() {
-		l1.send(Msg{Type: MsgInvAck, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
-	}
 	if e == nil || (!e.State.Valid() && e.State != cache.StoM) {
-		if me := l1.midLookup(m.Line); me != nil && me.State.Valid() {
-			e = me // three-level: invalidate the middle-cache copy
-		} else {
-			// Stale sharer (silent drop) or transient without a copy.
-			ack()
-			return
+		e = l1.midLookup(m.Line) // three-level: invalidate the middle-cache copy
+		if e != nil && !e.State.Valid() {
+			e = nil
 		}
 	}
+	s := invNone
+	switch {
+	case e == nil:
+	case e.Tx() && l1.Tx.InTx():
+		s = invTx
+	default:
+		s = invPlain
+	}
+	evt := invExternal
 	if m.Requester == -1 {
-		// LLC back-invalidation: unconditional recall.
-		if e.Tx() && l1.Tx.InTx() {
-			if l1.Tx.Mode.Lock() {
-				l1.spillToSignature(e)
-				ack()
-				return
-			}
-			l1.abortTx(htm.CauseOverflow)
-			ack()
-			return
-		}
-		l1.dropForInv(e)
-		ack()
-		return
+		evt = invRecall
 	}
-	if e.Tx() && l1.Tx.InTx() {
-		if l1.ownerWins(m) {
-			l1.RejectsSent++
-			l1.noteRejected(m)
-			l1.sendAfter(l1.arbDelay(), Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-				Requester: m.Requester, RejectorMode: l1.Tx.Mode})
-			return
-		}
-		l1.abortTx(l1.victimCause(m))
-		// The abort dropped write-set lines; this line was in the read set
-		// (it was Shared), so drop it now.
-		if e.State.Valid() || e.State == cache.StoM {
-			l1.dropForInv(e)
-		}
-		ack()
-		return
+	l1InvTable.Dispatch(s, evt, l1InvCtx{l1: l1, m: m, e: e}, l1.sys.fired[tblL1Inv])
+}
+
+// invAckDir acknowledges an invalidation to the home directory.
+func (l1 *L1) invAckDir(m *Msg) {
+	l1.send(Msg{Type: MsgInvAck, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+}
+
+// invReject keeps this transactional sharer's copy: it won arbitration
+// against the invalidating requester.
+func (l1 *L1) invReject(m *Msg) {
+	l1.RejectsSent++
+	l1.noteRejected(m)
+	l1.sendAfter(l1.arbDelay(), Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+		Requester: m.Requester, RejectorMode: l1.Tx.Mode})
+}
+
+// recallOverflow resolves an LLC back-invalidation recall of transactional
+// data through the overflow policy (external=true: switchingMode never fires
+// on a recall): lock transactions spill the line into the signatures; HTM
+// transactions abort with a capacity cause (read-set survivors deliberately
+// stay — the directory entry dies with the eviction and tolerates the stale
+// copy).
+func (l1 *L1) recallOverflow(e *cache.Entry) {
+	switch l1.sys.HTM.Overflow.Decide(l1.Tx.Mode, l1.Tx.TriedSwitch, true) {
+	case htm.OverflowSpill:
+		l1.spillToSignature(e)
+	case htm.OverflowAbort:
+		l1.abortTx(htm.CauseOverflow)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d switch decision on a recall", l1.core))
 	}
-	l1.dropForInv(e)
-	ack()
 }
 
 // dropForInv invalidates a line for an Inv, preserving an in-flight
@@ -834,31 +873,27 @@ func (l1 *L1) dropForInv(e *cache.Entry) {
 }
 
 // ownerWins arbitrates a conflict between this (transactional) owner and
-// the requester described by the message (Fig. 4's green logic).
+// the requester described by the message (Fig. 4's green logic). The
+// universal rules are applied here — an irrevocable lock transaction always
+// wins, and a non-speculative requester always defeats a speculative owner
+// (best-effort HTM's strong isolation) — then the ConflictPolicy decides
+// the speculative-vs-speculative case.
 func (l1 *L1) ownerWins(m *Msg) bool {
 	if l1.Tx.Mode.Lock() {
-		return true // irrevocable lock transactions always win
+		return true
 	}
 	switch m.ReqMode {
 	case htm.NonTx, htm.Mutex:
-		// Non-speculative accesses always defeat speculative transactions
-		// (best-effort HTM's strong isolation).
 		return false
 	}
-	if !l1.sys.HTM.ConflictArbitration() {
-		return false // pure requester-win baseline
-	}
-	return priority.Wins(l1.Tx.Priority(), l1.core, m.Prio, m.Requester)
+	return l1.sys.HTM.Conflict.OwnerWins(
+		htm.ConflictSide{Mode: l1.Tx.Mode, Prio: l1.Tx.Priority(), Core: l1.core},
+		htm.ConflictSide{Mode: m.ReqMode, Prio: m.Prio, Core: m.Requester})
 }
 
-// arbDelay models LosaTM's extra arbitration cycle ("the cache controller
-// needs an extra cycle of delay in exceptional cases").
-func (l1 *L1) arbDelay() uint64 {
-	if l1.sys.HTM.Losa {
-		return 1
-	}
-	return 0
-}
+// arbDelay is the extra arbitration latency the owner's cache controller
+// pays before sending a reject (LosaTM charges one cycle).
+func (l1 *L1) arbDelay() uint64 { return l1.sys.HTM.Conflict.ArbDelay() }
 
 // victimCause classifies the abort cause when this transaction loses a
 // conflict to the message's requester.
@@ -866,14 +901,14 @@ func (l1 *L1) victimCause(m *Msg) htm.AbortCause {
 	if m.Line == l1.sys.LockLine {
 		return htm.CauseMutex
 	}
-	return CauseFor(m.ReqMode)
+	return htm.CauseFor(m.ReqMode)
 }
 
 // noteRejected records the rejected requester for a wake-up at commit or
-// abort time. Recording is skipped when neither the system's reject policy
-// nor the requester's mode will ever park waiting for a wake-up.
+// abort time. Recording is skipped when the conflict policy says the
+// requester will never park waiting for a wake-up.
 func (l1 *L1) noteRejected(m *Msg) {
-	if m.ReqMode == htm.HTM && l1.sys.HTM.RejectPolicy != htm.WaitWakeup {
+	if !l1.sys.HTM.Conflict.RecordsWake(m.ReqMode) {
 		return
 	}
 	l1.wake.Add(m.Requester)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/coherence/proto"
 	"repro/internal/mem"
 )
 
@@ -40,27 +41,49 @@ func (l1 *L1) midLookup(line mem.Line) *cache.Entry {
 }
 
 // promoteFromMid moves a middle-cache hit into the L1 (the reverse fill),
-// then completes the access. Transactional metadata survives the move.
-func (l1 *L1) promoteFromMid(me *cache.Entry, write bool, gdone func()) {
+// then completes the access, dispatching through the mid.promote table.
+// Transactional metadata survives the move. The promote fires MidHit cycles
+// after the hit was observed, so the slot is revalidated here: a dead entry
+// (abort) or one reused for a different line dispatches as the synthetic
+// stale state and the access is re-resolved from scratch.
+func (l1 *L1) promoteFromMid(line mem.Line, me *cache.Entry, write bool, gdone func()) {
+	evt := midLoad
+	if write {
+		evt = midStore
+	}
+	s := midStale
+	if me.State.Valid() && me.Line == line {
+		s = proto.State(me.State)
+	}
+	midPromoteTable.Dispatch(s, evt,
+		midCtx{l1: l1, line: line, me: me, write: write, gdone: gdone}, l1.sys.fired[tblMidPromote])
+}
+
+// upgradeThroughMid handles a store over a Shared middle-cache line: leave
+// the data behind and run the ordinary upgrade path; the line logically
+// moves to the L1 as StoM.
+func (l1 *L1) upgradeThroughMid(me *cache.Entry, gdone func()) {
+	line := me.Line
+	txR, txW := me.TxRead, me.TxWrite
+	me.State = cache.Invalid
+	me.TxRead, me.TxWrite = false, false
+	v := l1.l1VictimOrDemote(line, true, gdone)
+	if v == nil {
+		return // overflow path took over (or aborted)
+	}
+	l1.arr.Install(v, line, cache.StoM)
+	e := l1.arr.Peek(line)
+	e.TxRead = txR
+	e.TxWrite = txW
+	l1.issue(line, true, gdone)
+}
+
+// moveToL1 transfers a middle-cache line into the L1 in its current state
+// and completes the access as a hit. The caller (the mid.promote table) has
+// already revalidated the entry, so the line is live here.
+func (l1 *L1) moveToL1(me *cache.Entry, write bool, gdone func()) {
 	line, st, dirty := me.Line, me.State, me.Dirty
 	txR, txW := me.TxRead, me.TxWrite
-	if write && st == cache.Shared {
-		// Needs an upgrade: leave it in the middle cache and run the
-		// ordinary upgrade path from there; the line logically moves to L1
-		// as StoM.
-		me.State = cache.Invalid
-		me.TxRead, me.TxWrite = false, false
-		v := l1.l1VictimOrDemote(line, write, gdone)
-		if v == nil {
-			return // overflow path took over (or aborted)
-		}
-		l1.arr.Install(v, line, cache.StoM)
-		e := l1.arr.Peek(line)
-		e.TxRead = txR
-		e.TxWrite = txW
-		l1.issue(line, true, gdone)
-		return
-	}
 	me.State = cache.Invalid
 	me.Dirty = false
 	me.TxRead, me.TxWrite = false, false

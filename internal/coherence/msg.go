@@ -67,6 +67,7 @@ const (
 
 // carriesData reports whether the message is a multi-flit data message.
 func (t MsgType) carriesData() bool {
+	//lockiller:rawdispatch message-size attribute for the NoC, not a protocol decision; no controller state axis
 	switch t {
 	case MsgPutM, MsgTxWB, MsgOwnerData, MsgDataS, MsgDataE:
 		return true
@@ -127,21 +128,4 @@ type Msg struct {
 	// System.free and cleared when the allocation site overwrites the
 	// struct. Guards against double frees.
 	recycled bool
-}
-
-// CauseFor maps the mode of a winning requester (or rejector) to the abort
-// cause recorded by the defeated transaction — the paper's Fig. 10
-// taxonomy. The lock-line special case (CauseMutex) is handled by the
-// caller, which knows the fallback lock's address.
-func CauseFor(winner htm.Mode) htm.AbortCause {
-	switch winner {
-	case htm.HTM:
-		return htm.CauseMC
-	case htm.TL, htm.STL:
-		return htm.CauseLock
-	case htm.Mutex:
-		return htm.CauseMutex
-	default:
-		return htm.CauseNonTx
-	}
 }

@@ -1,0 +1,31 @@
+package proto
+
+import "testing"
+
+// BenchmarkProtocolDispatch measures the table-dispatch overhead that PR 3
+// put on every protocol message: a dense index lookup, a guard scan, and
+// the fired-counter bump. The fixture mirrors the real tables' shape (a
+// guarded row ahead of the terminal row, two actions). This must stay in
+// the low-ns, zero-alloc range — the full-simulator budget per message is
+// three orders of magnitude larger.
+func BenchmarkProtocolDispatch(b *testing.B) {
+	var n uint64
+	bump := Action[*uint64]{Name: "bump", Do: func(c *uint64) { *c++ }}
+	tb := New("bench", []string{"idle", "busy"}, []string{"req", "ack"},
+		[]Transition[*uint64]{
+			{From: stIdle, On: evReq,
+				Guard:   Guard[*uint64]{Name: "odd", Ok: func(c *uint64) bool { return *c&1 == 1 }},
+				Actions: []Action[*uint64]{bump}, To: stBusy},
+			{From: stIdle, On: evReq, Actions: []Action[*uint64]{bump, bump}, To: stIdle},
+			{From: stBusy, On: evReq, Actions: []Action[*uint64]{bump}, To: stBusy},
+			{From: Any, On: evAck, Actions: []Action[*uint64]{bump}, To: Same},
+		}, nil)
+	fired := tb.NewCounters()
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := stIdle
+	for i := 0; i < b.N; i++ {
+		s = tb.Dispatch(s, Event(i&1), &n, fired)
+	}
+	_ = s
+}

@@ -1,0 +1,331 @@
+// Package proto is a declarative transition engine for the coherence
+// controllers: each controller expresses its protocol as a table of
+// (state × event → guard, actions, next-state) rows, in the style of gem5's
+// SLICC, instead of ad-hoc switch bodies. The engine buys three things the
+// fused switches could not:
+//
+//   - exhaustiveness checking: Validate proves every reachable (state,
+//     event) pair is handled by exactly one matching transition and flags
+//     transitions that can never fire (see TestProtocolTablesComplete);
+//   - observability: every dispatch bumps a per-transition fired counter,
+//     so a run can dump a transition heat profile (lockillersim
+//     -transitions);
+//   - documentation: Doc renders each table as a markdown state table
+//     (cmd/protodoc, DESIGN.md §8).
+//
+// Dispatch is deliberately boring — a dense index lookup plus a first-match
+// guard scan — because it sits on the simulator's message hot path. It
+// allocates nothing and consumes no simulated time; actions are small named
+// methods on the existing controllers, so the pooling and typed-event rules
+// (DESIGN.md §7) are untouched.
+package proto
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is a controller-local state code. Tables number their states
+// densely from 0; the two sentinel values live at the top of the range.
+type State uint8
+
+// Event is a controller-local event code (usually a coherence.MsgType,
+// but tables may define their own event spaces — e.g. load/store).
+type Event uint8
+
+const (
+	// Any is a wildcard From state: the transition applies in every state
+	// of the table (it is indexed under each, but counts as one row).
+	Any State = 0xFF
+	// Same is a wildcard To state: the transition leaves state selection
+	// to its actions (controllers whose state is derived from their own
+	// fields — busy flags, pending slots — declare Same and stay
+	// authoritative).
+	Same State = 0xFE
+)
+
+// Guard is a named predicate on the dispatch context. Guards must be free
+// of side effects: they may run several times per dispatch (once per
+// candidate transition) and appear verbatim in the generated docs.
+type Guard[C any] struct {
+	Name string
+	Ok   func(c C) bool
+}
+
+// Action is one named protocol step. Actions run in declaration order once
+// their transition matches.
+type Action[C any] struct {
+	Name string
+	Do   func(c C)
+}
+
+// Transition is one row of a protocol table: in state From, on event On,
+// when Guard holds (a zero Guard always holds), run Actions and move to To.
+type Transition[C any] struct {
+	From    State
+	On      Event
+	Guard   Guard[C]
+	Actions []Action[C]
+	To      State
+}
+
+// Impossible declares a (state, event) pair that must never occur — a
+// protocol violation. Validate requires every pair to be either handled or
+// declared impossible; Dispatch panics on a declared-impossible pair with
+// the recorded reason.
+type Impossible struct {
+	From State
+	On   Event
+	Why  string
+}
+
+// Table is a compiled protocol table. Tables are immutable after
+// construction and safe to share across controllers and simulations;
+// per-run fired counters are kept outside the table (see NewCounters).
+type Table[C any] struct {
+	name        string
+	states      []string
+	events      []string
+	transitions []Transition[C]
+	index       [][]int32 // state*len(events)+event → transition indices, in declaration order
+	impossible  []string  // reason per (state,event) slot; "" = not declared
+}
+
+// New compiles a table. The states and events slices give the dense name
+// spaces (their indices are the State/Event codes); transitions are kept in
+// declaration order, which is also guard-evaluation order at dispatch time.
+// New panics on out-of-range codes — table shape errors are programming
+// errors, caught at package init.
+func New[C any](name string, states, events []string, transitions []Transition[C], impossible []Impossible) *Table[C] {
+	t := &Table[C]{
+		name:        name,
+		states:      states,
+		events:      events,
+		transitions: transitions,
+		index:       make([][]int32, len(states)*len(events)),
+		impossible:  make([]string, len(states)*len(events)),
+	}
+	for i := range transitions {
+		tr := &transitions[i]
+		if int(tr.On) >= len(events) {
+			panic(fmt.Sprintf("proto: %s: transition %d event %d out of range", name, i, tr.On))
+		}
+		if tr.To != Same && int(tr.To) >= len(states) {
+			panic(fmt.Sprintf("proto: %s: transition %d To state %d out of range", name, i, tr.To))
+		}
+		froms := []State{tr.From}
+		if tr.From == Any {
+			froms = froms[:0]
+			for s := range states {
+				froms = append(froms, State(s))
+			}
+		} else if int(tr.From) >= len(states) {
+			panic(fmt.Sprintf("proto: %s: transition %d From state %d out of range", name, i, tr.From))
+		}
+		for _, s := range froms {
+			slot := int(s)*len(events) + int(tr.On)
+			t.index[slot] = append(t.index[slot], int32(i))
+		}
+	}
+	for _, im := range impossible {
+		if int(im.From) >= len(states) || int(im.On) >= len(events) {
+			panic(fmt.Sprintf("proto: %s: impossible pair (%d,%d) out of range", name, im.From, im.On))
+		}
+		why := im.Why
+		if why == "" {
+			why = "declared impossible"
+		}
+		t.impossible[int(im.From)*len(events)+int(im.On)] = why
+	}
+	return t
+}
+
+// Name returns the table's name.
+func (t *Table[C]) Name() string { return t.name }
+
+// Len returns the number of transitions (the required counter-slice length).
+func (t *Table[C]) Len() int { return len(t.transitions) }
+
+// NewCounters returns a zeroed fired-counter slice sized for this table.
+// Counters are per-simulation (a System owns one slice per table) so
+// concurrent harness runs never share mutable state.
+func (t *Table[C]) NewCounters() []uint64 { return make([]uint64, len(t.transitions)) }
+
+// Dispatch runs the first transition matching (s, e): guards are evaluated
+// in declaration order and the first that holds fires — its counter in
+// fired is bumped (when fired is non-nil) and its actions run in order.
+// The declared To state is returned (Same resolves to s). A dispatch with
+// no matching transition is a protocol violation and panics.
+func (t *Table[C]) Dispatch(s State, e Event, c C, fired []uint64) State {
+	for _, ti := range t.index[int(s)*len(t.events)+int(e)] {
+		tr := &t.transitions[ti]
+		if tr.Guard.Ok != nil && !tr.Guard.Ok(c) {
+			continue
+		}
+		if fired != nil {
+			fired[ti]++
+		}
+		for i := range tr.Actions {
+			tr.Actions[i].Do(c)
+		}
+		if tr.To == Same {
+			return s
+		}
+		return tr.To
+	}
+	if why := t.impossible[int(s)*len(t.events)+int(e)]; why != "" {
+		panic(fmt.Sprintf("proto: %s: impossible (%s, %s): %s",
+			t.name, t.states[s], t.events[e], why))
+	}
+	panic(fmt.Sprintf("proto: %s: no transition for (%s, %s)",
+		t.name, t.states[s], t.events[e]))
+}
+
+// Validate checks the table for completeness and reachability:
+//
+//   - every (state, event) pair must either end its transition chain with
+//     an unguarded (always-matching) transition or be declared impossible;
+//   - a pair may not be both handled and declared impossible;
+//   - a transition indexed after an unguarded one for the same pair can
+//     never fire and is flagged as unreachable;
+//   - a pair whose chain is all-guarded may fall through to a panic at
+//     runtime and is flagged as incomplete.
+//
+// The returned errors are in deterministic (state-major) order.
+func (t *Table[C]) Validate() []error {
+	var errs []error
+	for s := range t.states {
+		for e := range t.events {
+			slot := s*len(t.events) + e
+			chain := t.index[slot]
+			why := t.impossible[slot]
+			if len(chain) == 0 {
+				if why == "" {
+					errs = append(errs, fmt.Errorf("proto: %s: unhandled pair (%s, %s)",
+						t.name, t.states[s], t.events[e]))
+				}
+				continue
+			}
+			if why != "" {
+				errs = append(errs, fmt.Errorf("proto: %s: pair (%s, %s) both handled and declared impossible (%s)",
+					t.name, t.states[s], t.events[e], why))
+			}
+			terminal := -1
+			for i, ti := range chain {
+				if terminal >= 0 {
+					errs = append(errs, fmt.Errorf("proto: %s: transition %q for (%s, %s) is unreachable (shadowed by unguarded %q)",
+						t.name, t.label(int(ti)), t.states[s], t.events[e], t.label(int(chain[terminal]))))
+					continue
+				}
+				if t.transitions[ti].Guard.Ok == nil {
+					terminal = i
+				}
+			}
+			if terminal < 0 {
+				errs = append(errs, fmt.Errorf("proto: %s: pair (%s, %s) has only guarded transitions and may fall through",
+					t.name, t.states[s], t.events[e]))
+			}
+		}
+	}
+	return errs
+}
+
+// label names transition i for diagnostics: its guard if named, else its
+// first action, else its index.
+func (t *Table[C]) label(i int) string {
+	tr := &t.transitions[i]
+	if tr.Guard.Name != "" {
+		return tr.Guard.Name
+	}
+	if len(tr.Actions) > 0 {
+		return tr.Actions[0].Name
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+// --- documentation & profiling views ---------------------------------------
+
+// TransitionDoc is the type-erased view of one transition, used by the doc
+// generator and the heat profile.
+type TransitionDoc struct {
+	From    string
+	On      string
+	Guard   string // "" when unguarded
+	Actions []string
+	To      string // "·" when Same (state left to the actions)
+}
+
+// ImpossibleDoc is the type-erased view of one declared-impossible pair.
+type ImpossibleDoc struct {
+	From, On, Why string
+}
+
+// Doc is the type-erased view of a whole table.
+type Doc struct {
+	Name        string
+	States      []string
+	Events      []string
+	Transitions []TransitionDoc
+	Impossible  []ImpossibleDoc
+}
+
+// Doc returns the table's documentation view, transitions in declaration
+// order (= dispatch guard order).
+func (t *Table[C]) Doc() Doc {
+	d := Doc{Name: t.name, States: t.states, Events: t.events}
+	for i := range t.transitions {
+		tr := &t.transitions[i]
+		td := TransitionDoc{
+			From:  "any",
+			On:    t.events[tr.On],
+			Guard: tr.Guard.Name,
+			To:    "·",
+		}
+		if tr.From != Any {
+			td.From = t.states[tr.From]
+		}
+		if tr.To != Same {
+			td.To = t.states[tr.To]
+		}
+		for _, a := range tr.Actions {
+			td.Actions = append(td.Actions, a.Name)
+		}
+		d.Transitions = append(d.Transitions, td)
+	}
+	for s := range t.states {
+		for e := range t.events {
+			if why := t.impossible[s*len(t.events)+e]; why != "" {
+				d.Impossible = append(d.Impossible, ImpossibleDoc{
+					From: t.states[s], On: t.events[e], Why: why,
+				})
+			}
+		}
+	}
+	return d
+}
+
+// Markdown renders the doc as a markdown state table: one row per
+// transition, in dispatch order, followed by the declared-impossible pairs.
+func (d Doc) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Table `%s`\n\n", d.Name)
+	fmt.Fprintf(&b, "States: %s. Events: %s.\n\n",
+		strings.Join(d.States, ", "), strings.Join(d.Events, ", "))
+	b.WriteString("| From | On | Guard | Actions | To |\n|---|---|---|---|---|\n")
+	for _, tr := range d.Transitions {
+		guard := tr.Guard
+		if guard == "" {
+			guard = "—"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			tr.From, tr.On, guard, strings.Join(tr.Actions, ", "), tr.To)
+	}
+	if len(d.Impossible) > 0 {
+		b.WriteString("\nProtocol violations (dispatch panics):\n\n")
+		b.WriteString("| From | On | Why |\n|---|---|---|\n")
+		for _, im := range d.Impossible {
+			fmt.Fprintf(&b, "| %s | %s | %s |\n", im.From, im.On, im.Why)
+		}
+	}
+	return b.String()
+}

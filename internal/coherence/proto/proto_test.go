@@ -1,0 +1,183 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+// testCtx is the dispatch context of the fixture table: a tiny two-state
+// controller whose actions append to a log.
+type testCtx struct {
+	log  *[]string
+	open bool
+}
+
+func logAct(name string) Action[testCtx] {
+	return Action[testCtx]{Name: name, Do: func(c testCtx) { *c.log = append(*c.log, name) }}
+}
+
+const (
+	stIdle State = iota
+	stBusy
+)
+
+const (
+	evReq Event = iota
+	evAck
+	evPing
+)
+
+var (
+	testStates = []string{"idle", "busy"}
+	testEvents = []string{"req", "ack", "ping"}
+)
+
+func fixture() *Table[testCtx] {
+	return New("fixture", testStates, testEvents,
+		[]Transition[testCtx]{
+			{From: stIdle, On: evReq,
+				Guard:   Guard[testCtx]{Name: "open", Ok: func(c testCtx) bool { return c.open }},
+				Actions: []Action[testCtx]{logAct("serve")}, To: stBusy},
+			{From: stIdle, On: evReq, Actions: []Action[testCtx]{logAct("refuse")}, To: stIdle},
+			{From: stBusy, On: evReq, Actions: []Action[testCtx]{logAct("queue")}, To: stBusy},
+			{From: stBusy, On: evAck, Actions: []Action[testCtx]{logAct("finish"), logAct("drain")}, To: stIdle},
+			{From: Any, On: evPing, Actions: []Action[testCtx]{logAct("pong")}, To: Same},
+		},
+		[]Impossible{
+			{From: stIdle, On: evAck, Why: "ack without a pending request"},
+		})
+}
+
+func TestDispatchFirstMatchAndCounters(t *testing.T) {
+	tb := fixture()
+	fired := tb.NewCounters()
+	var log []string
+
+	// Guard fails → fall through to the unguarded refuse row.
+	if got := tb.Dispatch(stIdle, evReq, testCtx{log: &log, open: false}, fired); got != stIdle {
+		t.Fatalf("closed req → state %d, want idle", got)
+	}
+	// Guard holds → first row fires, To applied.
+	if got := tb.Dispatch(stIdle, evReq, testCtx{log: &log, open: true}, fired); got != stBusy {
+		t.Fatalf("open req → state %d, want busy", got)
+	}
+	// Multi-action row runs actions in order.
+	tb.Dispatch(stBusy, evAck, testCtx{log: &log}, fired)
+	// Wildcard From + Same To.
+	if got := tb.Dispatch(stBusy, evPing, testCtx{log: &log}, fired); got != stBusy {
+		t.Fatalf("ping in busy → state %d, want busy (Same)", got)
+	}
+
+	want := []string{"refuse", "serve", "finish", "drain", "pong"}
+	if strings.Join(log, ",") != strings.Join(want, ",") {
+		t.Fatalf("action log = %v, want %v", log, want)
+	}
+	wantFired := []uint64{1, 1, 0, 1, 1}
+	for i, n := range wantFired {
+		if fired[i] != n {
+			t.Fatalf("fired[%d] = %d, want %d (all: %v)", i, fired[i], n, fired)
+		}
+	}
+}
+
+func TestDispatchNilCounters(t *testing.T) {
+	tb := fixture()
+	var log []string
+	tb.Dispatch(stIdle, evPing, testCtx{log: &log}, nil) // must not panic
+}
+
+func TestDispatchPanicsOnImpossible(t *testing.T) {
+	tb := fixture()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("dispatching a declared-impossible pair did not panic")
+		}
+		if !strings.Contains(r.(string), "ack without a pending request") {
+			t.Fatalf("panic %q does not carry the declared reason", r)
+		}
+	}()
+	var log []string
+	tb.Dispatch(stIdle, evAck, testCtx{log: &log}, nil)
+}
+
+func TestValidateCompleteTable(t *testing.T) {
+	if errs := fixture().Validate(); len(errs) != 0 {
+		t.Fatalf("complete table reported errors: %v", errs)
+	}
+}
+
+func TestValidateFindsHoles(t *testing.T) {
+	broken := New("broken", testStates, testEvents,
+		[]Transition[testCtx]{
+			// Guarded-only chain: may fall through.
+			{From: stIdle, On: evReq,
+				Guard: Guard[testCtx]{Name: "open", Ok: func(c testCtx) bool { return c.open }}},
+			// Unguarded then another row: the second is unreachable.
+			{From: stBusy, On: evAck, Actions: []Action[testCtx]{logAct("finish")}},
+			{From: stBusy, On: evAck,
+				Guard:   Guard[testCtx]{Name: "late", Ok: func(c testCtx) bool { return true }},
+				Actions: []Action[testCtx]{logAct("never")}},
+			// Handled AND declared impossible below.
+			{From: stBusy, On: evReq, Actions: []Action[testCtx]{logAct("queue")}},
+		},
+		[]Impossible{
+			{From: stBusy, On: evReq, Why: "clash"},
+		})
+	// Expected findings: idle/req guarded-only; idle/ack, idle/ping,
+	// busy/ping unhandled; busy/ack shadowed row; busy/req clash.
+	errs := broken.Validate()
+	wants := []string{
+		"only guarded transitions",
+		"unhandled pair (idle, ack)",
+		"unhandled pair (idle, ping)",
+		"unhandled pair (busy, ping)",
+		"unreachable",
+		"both handled and declared impossible",
+	}
+	for _, w := range wants {
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Validate missed %q; got %v", w, errs)
+		}
+	}
+	if len(errs) != len(wants) {
+		t.Fatalf("Validate returned %d errors, want %d: %v", len(errs), len(wants), errs)
+	}
+}
+
+func TestDocAndMarkdown(t *testing.T) {
+	d := fixture().Doc()
+	if d.Name != "fixture" || len(d.Transitions) != 5 || len(d.Impossible) != 1 {
+		t.Fatalf("doc shape = %+v", d)
+	}
+	if d.Transitions[4].From != "any" || d.Transitions[4].To != "·" {
+		t.Fatalf("wildcard doc row = %+v", d.Transitions[4])
+	}
+	md := d.Markdown()
+	for _, frag := range []string{"### Table `fixture`", "| idle | req | open | serve | busy |", "ack without a pending request"} {
+		if !strings.Contains(md, frag) {
+			t.Fatalf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+}
+
+func TestZeroAllocDispatch(t *testing.T) {
+	tb := fixture()
+	fired := tb.NewCounters()
+	var log []string
+	ctx := testCtx{log: &log, open: true}
+	allocs := testing.AllocsPerRun(1000, func() {
+		log = log[:0]
+		tb.Dispatch(stBusy, evAck, ctx, fired)
+	})
+	if allocs != 0 {
+		t.Fatalf("Dispatch allocates %.1f per call, want 0", allocs)
+	}
+}

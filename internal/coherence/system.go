@@ -80,6 +80,11 @@ type System struct {
 	// through the NoC as a typed event payload, and recycled by its final
 	// consumer (see the ownership rules on alloc).
 	msgFree []*Msg
+
+	// fired holds the per-transition fired counters of every protocol table
+	// (indexed by the tbl* constants in tables.go); TransitionProfile turns
+	// them into the heat profile lockillersim -transitions dumps.
+	fired [tblCount][]uint64
 }
 
 // NewSystem builds the memory subsystem for the given machine and HTM
@@ -95,6 +100,7 @@ func NewSystem(engine *sim.Engine, p Params, hc htm.Config) *System {
 		Engine:   engine,
 		Net:      noc.New(engine, mesh, p.NoC),
 		LockLine: mem.Line(0),
+		fired:    newFiredCounters(),
 	}
 	if hc.HTMLock {
 		sys.Arbiter = htm.NewArbiter(hc.SignatureBits)
@@ -185,7 +191,11 @@ func (s *System) route(m *Msg) {
 }
 
 // toBank reports whether the message type is consumed by a directory bank.
+// This is routing, not protocol: the split mirrors the bankBound/l1Bound
+// partition the tables declare, and the membership test has no state axis,
+// so it stays a raw switch.
 func (m *Msg) toBank() bool {
+	//lockiller:rawdispatch routing predicate, not a protocol decision; partition is cross-checked by TestMsgRoutingMatchesTables
 	switch m.Type {
 	case MsgGetS, MsgGetM, MsgPutM, MsgPutE, MsgTxWB,
 		MsgOwnerData, MsgNack, MsgRejectFwd, MsgInvAck, MsgInvReject,

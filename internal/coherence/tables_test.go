@@ -1,0 +1,185 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// TestProtocolTablesComplete runs the proto validator over every registered
+// protocol table: each (state, event) pair must be handled by a reachable
+// transition or declared impossible, and no transition may be shadowed into
+// unreachability by an earlier unguarded row.
+func TestProtocolTablesComplete(t *testing.T) {
+	for _, err := range ValidateProtocolTables() {
+		t.Error(err)
+	}
+}
+
+// TestMsgEventNames pins the msgEvents name space to the MsgType constants:
+// the tables use MsgType values directly as event codes, so an inserted or
+// reordered message type must fail loudly here rather than silently skew
+// every table.
+func TestMsgEventNames(t *testing.T) {
+	if got, want := len(msgEvents), int(MsgSigAdd)+1; got != want {
+		t.Fatalf("msgEvents has %d names, MsgType space has %d", got, want)
+	}
+	for i, name := range msgEvents {
+		if s := MsgType(i).String(); s != name {
+			t.Errorf("msgEvents[%d] = %q, MsgType(%d).String() = %q", i, name, i, s)
+		}
+	}
+}
+
+// TestCacheStateNames pins the cacheStates name space to the cache.State
+// constants (the fill and promote tables use cache.State values as state
+// codes).
+func TestCacheStateNames(t *testing.T) {
+	for i, name := range cacheStates {
+		if s := cache.State(i).String(); s != name {
+			t.Errorf("cacheStates[%d] = %q, cache.State(%d).String() = %q", i, name, i, s)
+		}
+	}
+}
+
+// TestMidStaleState pins the synthetic stale-promote state directly after
+// the cache.State codes in the mid.promote state space.
+func TestMidStaleState(t *testing.T) {
+	if int(midStale) != len(cacheStates) {
+		t.Errorf("midStale = %d, want len(cacheStates) = %d", midStale, len(cacheStates))
+	}
+	if got := midStates[midStale]; got != "stale" {
+		t.Errorf("midStates[midStale] = %q, want %q", got, "stale")
+	}
+}
+
+// TestMsgRoutingMatchesTables cross-checks Msg.toBank — the one raw MsgType
+// switch left in the package (waived routing, see system.go) — against the
+// bankBound/l1Bound partition the tables declare impossible for the other
+// consumer.
+func TestMsgRoutingMatchesTables(t *testing.T) {
+	inBank := make(map[MsgType]bool)
+	for _, e := range bankBound {
+		inBank[MsgType(e)] = true
+	}
+	inL1 := make(map[MsgType]bool)
+	for _, e := range l1Bound {
+		inL1[MsgType(e)] = true
+	}
+	for i := 0; i <= int(MsgSigAdd); i++ {
+		mt := MsgType(i)
+		if inBank[mt] == inL1[mt] {
+			t.Errorf("%v is in bankBound=%v and l1Bound=%v; the partition must cover each type exactly once",
+				mt, inBank[mt], inL1[mt])
+			continue
+		}
+		m := Msg{Type: mt}
+		if got := m.toBank(); got != inBank[mt] {
+			t.Errorf("%v: toBank() = %v, tables declare bank-bound = %v", mt, got, inBank[mt])
+		}
+	}
+}
+
+// TestSortedMshrsNoAlloc asserts the wake-parked iteration path allocates
+// nothing in steady state: sortedMshrs insertion-sorts into a reused scratch
+// slice (sort.Slice would box its comparator and allocate per call).
+func TestSortedMshrsNoAlloc(t *testing.T) {
+	_, sys, _ := tsys(t, baseCfg())
+	l1 := sys.L1s[0]
+	// Descending insertion order is the insertion sort's worst case.
+	lines := []mem.Line{800, 700, 600, 500, 400, 300, 200, 100}
+	for _, l := range lines {
+		l1.mshrs[l] = &mshr{line: l}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s := l1.sortedMshrs()
+		if len(s) != len(lines) {
+			t.Fatalf("sortedMshrs returned %d entries, want %d", len(s), len(lines))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sortedMshrs allocates %.0f per call in steady state, want 0", allocs)
+	}
+	s := l1.sortedMshrs()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].line >= s[i].line {
+			t.Fatalf("sortedMshrs not in ascending line order: %d before %d", s[i-1].line, s[i].line)
+		}
+	}
+}
+
+// TestRejectPolicyOwnerWinsMatrix exercises every recovery reject policy on
+// both sides of the priority arbitration: when the transactional owner wins
+// (it is older/higher-priority), the requester's fate is the policy's —
+// self-abort, timed retry, or park-until-wakeup; when the requester wins,
+// the owner aborts identically under every policy.
+func TestRejectPolicyOwnerWinsMatrix(t *testing.T) {
+	policies := []htm.RejectPolicy{htm.SelfAbort, htm.RetryLater, htm.WaitWakeup}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(fmt.Sprintf("%v/owner-wins", pol), func(t *testing.T) {
+			e, sys, cl := tsys(t, recoveryCfg(pol))
+			sys.L1s[0].Tx.BeginAttempt(htm.HTM, e.Now())
+			sys.L1s[0].Tx.InstsRetired = 1000 // owner is older: it wins
+			access(t, e, sys, 0, 100, true)
+			drain(e)
+			sys.L1s[1].Tx.BeginAttempt(htm.HTM, e.Now())
+			done := tryAccess(e, sys, 1, 100, false)
+			for i := 0; i < 10000 && !*done; i++ {
+				if !e.Step() {
+					break
+				}
+			}
+			if len(cl[0].dooms) != 0 {
+				t.Fatalf("winning owner aborted: %v", cl[0].dooms)
+			}
+			if sys.L1s[1].RejectsReceived == 0 {
+				t.Fatal("losing requester never saw a reject")
+			}
+			if pol == htm.SelfAbort {
+				if len(cl[1].dooms) != 1 || cl[1].dooms[0] != htm.CauseMC {
+					t.Fatalf("requester dooms = %v, want [mc]", cl[1].dooms)
+				}
+				return
+			}
+			// RetryLater / WaitWakeup: the requester stays live but unserved
+			// until the owner commits.
+			if *done {
+				t.Fatal("losing request completed while the owner was still speculative")
+			}
+			if len(cl[1].dooms) != 0 {
+				t.Fatalf("requester aborted under %v: %v", pol, cl[1].dooms)
+			}
+			sys.L1s[0].CommitTx()
+			sys.L1s[0].Tx.Reset()
+			drain(e)
+			if !*done {
+				t.Fatalf("request never completed after owner commit under %v", pol)
+			}
+		})
+		t.Run(fmt.Sprintf("%v/requester-wins", pol), func(t *testing.T) {
+			e, sys, cl := tsys(t, recoveryCfg(pol))
+			sys.L1s[0].Tx.BeginAttempt(htm.HTM, e.Now())
+			access(t, e, sys, 0, 100, true) // owner priority 0: it loses
+			drain(e)
+			sys.L1s[1].Tx.BeginAttempt(htm.HTM, e.Now())
+			sys.L1s[1].Tx.InstsRetired = 500
+			done := tryAccess(e, sys, 1, 100, false)
+			drain(e)
+			// The winning requester's fate is policy-independent: the owner
+			// aborts and the request is served.
+			if len(cl[0].dooms) != 1 || cl[0].dooms[0] != htm.CauseMC {
+				t.Fatalf("losing owner dooms = %v, want [mc]", cl[0].dooms)
+			}
+			if len(cl[1].dooms) != 0 {
+				t.Fatalf("winning requester aborted under %v: %v", pol, cl[1].dooms)
+			}
+			if !*done {
+				t.Fatalf("winning request never completed under %v", pol)
+			}
+		})
+	}
+}

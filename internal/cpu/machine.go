@@ -189,6 +189,7 @@ func (m *Machine) collectTraffic() {
 	}
 	t.LockAcquisitions = m.Lock.Acquisitions
 	t.LockHandovers = m.Lock.Handovers
+	m.Stats.Transitions = m.Sys.TransitionProfile()
 }
 
 // DumpState renders a diagnostic snapshot of every core — what each thread

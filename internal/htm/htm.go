@@ -171,6 +171,13 @@ type Config struct {
 	RollbackPenalty uint64
 	// SignatureBits sizes the LLC overflow signatures (OfRdSig/OfWrSig).
 	SignatureBits int
+
+	// Conflict and Overflow are the composed policy objects the coherence
+	// controllers consult (see policy.go). Defaults() fills them from the
+	// flag fields above when nil, so each Table II row is a composition of
+	// policies; set them explicitly to run a custom composition.
+	Conflict ConflictPolicy
+	Overflow OverflowPolicy
 }
 
 // Validate panics on inconsistent configurations; it is called by the
@@ -187,6 +194,12 @@ func (c Config) Validate() {
 	}
 	if c.HTMLock && c.SignatureBits <= 0 {
 		panic("htm: HTMLock requires SignatureBits > 0")
+	}
+	if c.Conflict == nil || c.Overflow == nil {
+		panic("htm: Config used without Defaults (no conflict/overflow policy composed)")
+	}
+	if _, ok := c.Overflow.(SwitchOverflow); ok && !c.HTMLock {
+		panic("htm: SwitchOverflow requires HTMLock")
 	}
 }
 
@@ -210,6 +223,25 @@ func (c Config) Defaults() Config {
 	}
 	if c.SignatureBits == 0 {
 		c.SignatureBits = 2048
+	}
+	// Compose the policy objects from the legacy flags (after the numeric
+	// knobs above are final, since the policies capture them by value).
+	if c.Conflict == nil {
+		switch {
+		case c.Recovery:
+			c.Conflict = Recovery{Policy: c.RejectPolicy, Backoff: c.RetryBackoff, Timeout: c.RejectTimeout}
+		case c.Losa:
+			c.Conflict = Losa{Timeout: c.RejectTimeout}
+		default:
+			c.Conflict = RequesterWins{Timeout: c.RejectTimeout}
+		}
+	}
+	if c.Overflow == nil {
+		if c.SwitchingMode {
+			c.Overflow = SwitchOverflow{}
+		} else {
+			c.Overflow = AbortOverflow{}
+		}
 	}
 	return c
 }

@@ -108,6 +108,9 @@ type Run struct {
 	ExecCycles uint64
 	// Traffic is the memory-subsystem activity summary.
 	Traffic Traffic
+	// Transitions is the protocol-table heat profile: how often each
+	// declared transition fired (see transitions.go).
+	Transitions []TransitionCount
 }
 
 // NewRun allocates per-core accumulators.

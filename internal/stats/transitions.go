@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TransitionCount is one row of the protocol-table heat profile: a declared
+// (state, event) transition and how often it fired during a run. The rows
+// are produced by coherence.(*System).TransitionProfile in declaration
+// order; Label is the transition's first action (a display handle).
+type TransitionCount struct {
+	Table string
+	From  string
+	On    string
+	Guard string // "" when unguarded
+	To    string // "·" when the actions keep state authority
+	Label string
+	Count uint64
+}
+
+// RenderTransitionProfile writes the heat profile grouped by table, hottest
+// transitions first. Zero-count transitions are elided row-by-row but
+// summarized per table, so cold spots read as coverage information rather
+// than disappearing silently.
+func RenderTransitionProfile(w io.Writer, profile []TransitionCount) {
+	byTable := make(map[string][]TransitionCount)
+	var order []string
+	for _, tc := range profile {
+		if _, seen := byTable[tc.Table]; !seen {
+			order = append(order, tc.Table)
+		}
+		byTable[tc.Table] = append(byTable[tc.Table], tc)
+	}
+	for _, name := range order {
+		rows := byTable[name]
+		var total uint64
+		cold := 0
+		for _, tc := range rows {
+			total += tc.Count
+			if tc.Count == 0 {
+				cold++
+			}
+		}
+		fmt.Fprintf(w, "table %s: %d transitions, %d fired, %d never fired\n",
+			name, len(rows), total, cold)
+		// Hottest first; declaration order breaks ties so the listing is
+		// deterministic.
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+		for _, tc := range rows {
+			if tc.Count == 0 {
+				continue
+			}
+			guard := ""
+			if tc.Guard != "" {
+				guard = " [" + tc.Guard + "]"
+			}
+			fmt.Fprintf(w, "  %12d  %s x %s%s -> %s (%s)\n",
+				tc.Count, tc.From, tc.On, guard, tc.To, tc.Label)
+		}
+	}
+}
+
+// TransitionProfileString renders the heat profile to a string.
+func TransitionProfileString(profile []TransitionCount) string {
+	var b strings.Builder
+	RenderTransitionProfile(&b, profile)
+	return b.String()
+}

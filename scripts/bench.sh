@@ -14,6 +14,11 @@ go test -run '^$' -benchmem \
     -bench '^(BenchmarkTypedEventRing|BenchmarkTypedEventHeap|BenchmarkClosureEventRing|BenchmarkMixedHorizon)$' \
     ./internal/sim >"$TMP"
 
+echo "running protocol-table dispatch benchmark..." >&2
+go test -run '^$' -benchmem \
+    -bench '^BenchmarkProtocolDispatch$' \
+    ./internal/coherence/proto >>"$TMP"
+
 echo "running component and full-sim benchmarks..." >&2
 go test -run '^$' -benchmem \
     -bench '^(BenchmarkEngineEvents|BenchmarkNoCSend|BenchmarkSimulatorThroughput)$' \
