@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench figures eval clean
+.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench telemetry-smoke figures eval clean
 
 all: vet lint build test
 
@@ -43,12 +43,21 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# Run the scheduler + full-simulator benchmarks and write BENCH_2.json
+# Run the scheduler + full-simulator benchmarks and write BENCH_3.json
 # (ns/op, B/op, allocs/op per benchmark). BENCH_1.json is the pre-refactor
-# baseline; compare SimulatorThroughput between the two (the table-driven
-# protocol engine must stay within ±5%).
+# baseline, BENCH_2.json the table-driven protocol engine; compare
+# SimulatorThroughput across files (±5% budget) and
+# TelemetryDisabledOverhead against SimulatorThroughput within BENCH_3
+# (< 2% budget for the disabled telemetry hooks).
 bench:
-	sh scripts/bench.sh BENCH_2.json
+	sh scripts/bench.sh BENCH_3.json
+
+# Short end-to-end observability check: run one small simulation with all
+# telemetry enabled twice with the same seed, assert byte-identical output,
+# and validate the Chrome-trace and metrics JSON schemas (sorted keys,
+# monotonic sample clock). Offline; runs in CI.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # Regenerate the paper's figures (quick scope).
 figures:

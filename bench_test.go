@@ -22,6 +22,7 @@ import (
 	"repro/internal/priority"
 	"repro/internal/sim"
 	"repro/internal/stamp"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -379,6 +380,57 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// telemetryBenchSpec is the BenchmarkSimulatorThroughput machine point
+// (kmeans, LockillerTM, 8 threads, seed 1) expressed as a harness spec, so
+// the overhead pair below differs from the throughput benchmark only in
+// which telemetry value rides along.
+func telemetryBenchSpec(b *testing.B) harness.Spec {
+	sys, err := harness.SystemByName("LockillerTM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return harness.Spec{
+		System: sys, Workload: stamp.Kmeans(),
+		Threads: 8, Cache: harness.TypicalCache(), Seed: 1,
+	}
+}
+
+func BenchmarkTelemetryDisabledOverhead(b *testing.B) {
+	// The same run as BenchmarkSimulatorThroughput with telemetry nil: every
+	// hook site takes its disabled branch. Compare ns/op against
+	// SimulatorThroughput within one BENCH file — the disabled hooks have a
+	// < 2% budget.
+	spec := telemetryBenchSpec(b)
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ExecuteInstrumented(spec, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ExecCycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+func BenchmarkTelemetryEnabledOverhead(b *testing.B) {
+	// Full observability on (sampling, Chrome recording, provenance) at the
+	// default interval: the price of actually watching, for the DESIGN.md
+	// interval/overhead trade-off table.
+	spec := telemetryBenchSpec(b)
+	var cycles, samples uint64
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.New(telemetry.Config{Interval: 10_000, Chrome: true})
+		res, err := harness.ExecuteInstrumented(spec, nil, tel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ExecCycles
+		samples += uint64(tel.Reg.Samples())
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
 }
 
 // --- tiny helpers (stdlib only, no fmt in hot paths) ---------------------

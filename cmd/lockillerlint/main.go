@@ -1,6 +1,6 @@
 // Command lockillerlint is the multichecker for the repository's custom
 // static-analysis suite. It loads the named packages from source (stdlib-only
-// module, no external driver needed) and runs the five lockiller passes:
+// module, no external driver needed) and runs the six lockiller passes:
 //
 //	detmap        — order-dependent side effects in map-range loops of
 //	                deterministic packages
@@ -10,6 +10,8 @@
 //	evtalloc      — closure-literal Engine.At/After scheduling on hot paths
 //	tabledispatch — raw switches over MsgType in the coherence package that
 //	                bypass the protocol transition tables
+//	tracehook     — unguarded Tracer.Emit/Emitf or Telemetry hook calls on
+//	                hot paths that pay argument evaluation when disabled
 //
 // Usage:
 //
@@ -33,6 +35,7 @@ import (
 	"repro/internal/analysis/nowallclock"
 	"repro/internal/analysis/poolsafe"
 	"repro/internal/analysis/tabledispatch"
+	"repro/internal/analysis/tracehook"
 )
 
 var all = []*analysis.Analyzer{
@@ -41,6 +44,7 @@ var all = []*analysis.Analyzer{
 	nowallclock.Analyzer,
 	poolsafe.Analyzer,
 	tabledispatch.Analyzer,
+	tracehook.Analyzer,
 }
 
 func main() {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/stamp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -29,13 +30,17 @@ func main() {
 	cacheName := flag.String("cache", "typical", "cache config: typical, small, large")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list systems and workloads, then exit")
-	traceCats := flag.String("trace", "", "record events: comma-separated categories (proto,conflict,tx,htmlock,lock) or 'all'")
+	traceCats := flag.String("trace", "", "record events: comma-separated categories (proto,conflict,tx,htmlock,lock,noc) or 'all'")
 	traceN := flag.Int("tracen", 200, "number of trace events to retain")
 	showTraffic := flag.Bool("traffic", false, "print the memory-subsystem traffic summary")
 	showTransitions := flag.Bool("transitions", false, "print the protocol-table transition heat profile")
 	threeLevel := flag.Bool("threelevel", false, "use the MESI-Three-Level-HTM organization (private middle cache)")
 	exportPath := flag.String("export", "", "write the generated thread programs as JSON and exit")
 	importPath := flag.String("import", "", "replay thread programs from a JSON file instead of generating them")
+	metricsPath := flag.String("metrics", "", "write sampled metrics time-series + conflict provenance (JSON, or CSV series if the path ends in .csv)")
+	interval := flag.Uint64("interval", 10_000, "telemetry sampling interval in simulated cycles")
+	chromePath := flag.String("chrometrace", "", "write a Chrome-trace-event (Perfetto) JSON trace to this path")
+	hotLines := flag.Int("hot-lines", 16, "number of hottest conflict lines to report")
 	flag.Parse()
 
 	if *list {
@@ -98,12 +103,20 @@ func main() {
 		fmt.Printf("wrote %d thread programs to %s\n", len(progs), *exportPath)
 		return
 	}
+	var tel *telemetry.Telemetry
+	if *metricsPath != "" || *chromePath != "" {
+		tel = telemetry.New(telemetry.Config{
+			Interval: *interval,
+			HotLines: *hotLines,
+			Chrome:   *chromePath != "",
+		})
+	}
 	var run *stats.Run
 	switch {
 	case *importPath != "" || *threeLevel:
-		run, err = runCustom(spec, tracer, *importPath, *threeLevel)
+		run, err = runCustom(spec, tracer, tel, *importPath, *threeLevel)
 	default:
-		run, err = harness.ExecuteTraced(spec, tracer)
+		run, err = harness.ExecuteInstrumented(spec, tracer, tel)
 	}
 	if err != nil {
 		fatal(err)
@@ -138,11 +151,45 @@ func main() {
 		fmt.Println("trace:")
 		tracer.Render(os.Stdout)
 	}
+	if tel != nil {
+		tel.RenderProvenance(os.Stdout, *hotLines)
+		if *metricsPath != "" {
+			if err := writeFile(*metricsPath, func(f *os.File) error {
+				if len(*metricsPath) > 4 && (*metricsPath)[len(*metricsPath)-4:] == ".csv" {
+					return tel.WriteMetricsCSV(f)
+				}
+				return tel.WriteMetricsJSON(f)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics   : wrote %s (%d samples)\n", *metricsPath, tel.Reg.Samples())
+		}
+		if *chromePath != "" {
+			if err := writeFile(*chromePath, func(f *os.File) error { return tel.WriteChromeTrace(f) }); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace file: wrote %s (load in ui.perfetto.dev)\n", *chromePath)
+		}
+	}
+}
+
+// writeFile creates path, runs write, and closes it, returning the first
+// error encountered.
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runCustom executes a spec with non-standard machine options (replayed
 // programs and/or the three-level protocol organization).
-func runCustom(spec harness.Spec, tracer *trace.Tracer, importPath string, threeLevel bool) (*stats.Run, error) {
+func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry, importPath string, threeLevel bool) (*stats.Run, error) {
 	p := coherence.DefaultParams()
 	p.L1Size = spec.Cache.L1Size
 	p.LLCSize = spec.Cache.LLCSize
@@ -164,6 +211,14 @@ func runCustom(spec harness.Spec, tracer *trace.Tracer, importPath string, three
 	cfg := cpu.Config{
 		Machine: p, HTM: spec.System.HTM, Sync: spec.System.Sync,
 		Threads: len(progs), Seed: spec.Seed, Limit: 4_000_000_000, Tracer: tracer,
+		Telemetry: tel,
+	}
+	if tel != nil {
+		tel.Meta = telemetry.Meta{
+			System:   spec.System.Name,
+			Threads:  len(progs),
+			Workload: spec.Workload.Name,
+		}
 	}
 	m := cpu.NewMachine(cfg, spec.System.Name, spec.Workload.Name, progs)
 	return m.Run()

@@ -1,0 +1,63 @@
+// Command telemetryck validates telemetry export files against the schemas
+// the telemetry package promises: sorted JSON keys throughout, the metrics
+// document shape (monotonic sample clock, equal-length series, required
+// rates), and the Chrome-trace-event shape Perfetto accepts.
+//
+// Usage:
+//
+//	telemetryck [-metrics file.json] [-chrometrace file.json]
+//
+// At least one flag is required. Exit status is 1 when any file fails
+// validation, with one line per failure on stderr. Used by
+// `make telemetry-smoke` to check real exporter output in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	metricsPath := flag.String("metrics", "", "metrics time-series JSON file to validate")
+	chromePath := flag.String("chrometrace", "", "Chrome-trace-event JSON file to validate")
+	flag.Parse()
+
+	if *metricsPath == "" && *chromePath == "" {
+		fmt.Fprintln(os.Stderr, "telemetryck: need -metrics and/or -chrometrace")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	check := func(path, what string, validate func([]byte) error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetryck:", err)
+			failed = true
+			return
+		}
+		if err := telemetry.ValidateSortedKeys(data); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetryck: %s: sorted keys: %v\n", path, err)
+			failed = true
+		}
+		if err := validate(data); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetryck: %s: %s schema: %v\n", path, what, err)
+			failed = true
+		}
+		if !failed {
+			fmt.Printf("telemetryck: %s: %s ok (%d bytes)\n", path, what, len(data))
+		}
+	}
+	if *metricsPath != "" {
+		check(*metricsPath, "metrics", telemetry.ValidateMetrics)
+	}
+	if *chromePath != "" {
+		check(*chromePath, "chrome-trace", telemetry.ValidateChromeTrace)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

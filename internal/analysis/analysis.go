@@ -82,11 +82,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	//lockiller:rawdispatch — tabledispatch: the switch is stateless routing,
 //	                        not a protocol decision; say why and name the
 //	                        test that cross-checks it against the tables
+//	//lockiller:trace-ok  — tracehook: the unguarded observability call is on
+//	                        a cold path; say why in the trailing text
 const (
 	DirectiveOrdered     = "lockiller:ordered"
 	DirectiveAllocOK     = "lockiller:alloc-ok"
 	DirectivePoolOK      = "lockiller:pool-ok"
 	DirectiveRawDispatch = "lockiller:rawdispatch"
+	DirectiveTraceOK     = "lockiller:trace-ok"
 )
 
 // Waived reports whether node n is waived by the given directive: a comment
@@ -189,6 +192,7 @@ func (p *Pass) ParentOf(n ast.Node) ast.Node {
 var deterministicPkgs = map[string]bool{
 	"sim": true, "coherence": true, "cpu": true, "noc": true,
 	"htm": true, "cache": true, "stamp": true, "stats": true,
+	"telemetry": true,
 }
 
 // hotPkgs are the packages whose event scheduling sits on the simulator's

@@ -1,0 +1,57 @@
+// Package coherence is a tracehook fixture: unguarded observability calls in
+// a hot package must be flagged. Tracer/Telemetry stand in for the real
+// internal/trace and internal/telemetry types (fixtures are self-contained).
+package coherence
+
+// Tracer stands in for trace.Tracer.
+type Tracer struct{}
+
+func (t *Tracer) Enabled(cat uint8) bool { return t != nil }
+func (t *Tracer) Emit(core int, cat uint8, line uint64, what string) {
+}
+func (t *Tracer) Emitf(core int, cat uint8, line uint64, format string, args ...any) {
+}
+
+// Telemetry stands in for telemetry.Telemetry.
+type Telemetry struct{}
+
+func (t *Telemetry) Conflict(winner, loser int, line uint64, read, write, aborted bool) {}
+func (t *Telemetry) TxBegin(core, section, attempt int)                                 {}
+
+type l1 struct {
+	tracer *Tracer
+	tel    *Telemetry
+	core   int
+}
+
+// bareEmit pays Emitf's vararg boxing on every call even when tracing is off.
+func (l *l1) bareEmit(line uint64, wait uint64) {
+	l.tracer.Emitf(l.core, 0, line, "wait=%d", wait) // want `unguarded Tracer\.Emitf call in hot package "coherence"`
+}
+
+// bareEmitNoF is just as bad without formatting.
+func (l *l1) bareEmitNoF(line uint64) {
+	l.tracer.Emit(l.core, 0, line, "hit") // want `unguarded Tracer\.Emit call in hot package "coherence"`
+}
+
+// bareConflict evaluates all six arguments with telemetry disabled.
+func (l *l1) bareConflict(winner int, line uint64) {
+	l.tel.Conflict(winner, l.core, line, true, false, true) // want `unguarded Telemetry\.Conflict call in hot package "coherence"`
+}
+
+// wrongGuard checks something unrelated: still flagged.
+func (l *l1) wrongGuard(line uint64) {
+	if l.core > 0 {
+		l.tel.TxBegin(l.core, 0, 1) // want `unguarded Telemetry\.TxBegin call in hot package "coherence"`
+	}
+}
+
+// closureEscapesGuard: the guard is outside the func literal, so the call
+// runs unguarded whenever the closure fires later.
+func (l *l1) closureEscapesGuard(line uint64, defer_ func(func())) {
+	if l.tracer.Enabled(0) {
+		defer_(func() {
+			l.tracer.Emit(l.core, 0, line, "late") // want `unguarded Tracer\.Emit call in hot package "coherence"`
+		})
+	}
+}

@@ -1,0 +1,144 @@
+// Package tracehook flags unguarded observability calls on the simulator's
+// hot path. Tracer.Emit/Emitf and the Telemetry hook methods are all
+// nil-receiver-safe, but an unguarded call still pays full argument
+// evaluation — fmt varargs boxing, Now() reads, set-membership lookups — on
+// every event even when observability is disabled. The sanctioned idiom
+// hides the whole call behind a branch:
+//
+//	if tr := cfg.Tracer; tr.Enabled(trace.CatNoC) {
+//		tr.Emitf(core, trace.CatNoC, line, "enqueue wait=%d", wait)
+//	}
+//	if t := sys.Telemetry; t != nil {
+//		t.Conflict(winner, loser, line, read, write, aborted)
+//	}
+//
+// so the disabled path costs one branch and zero argument evaluation. The
+// analyzer flags any Tracer.Emit/Emitf or Telemetry hook call in a hot
+// package that is not lexically inside an if whose condition checks
+// Enabled(...) or compares the handle against nil. Cold paths that
+// deliberately call unguarded are waived with //lockiller:trace-ok plus a
+// justification.
+package tracehook
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the tracehook pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracehook",
+	Doc:  "flags unguarded Tracer.Emit/Emitf or Telemetry hook calls in hot packages; wrap in an Enabled()/nil guard",
+	Run:  run,
+}
+
+// tracerMethods are the Tracer recording entry points.
+var tracerMethods = map[string]bool{"Emit": true, "Emitf": true}
+
+// telemetryMethods are the Telemetry hot-path hooks.
+var telemetryMethods = map[string]bool{
+	"Segment": true, "TxBegin": true, "TxCommit": true,
+	"TxAbort": true, "Conflict": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsHotPkg(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			var recv string
+			switch {
+			case tracerMethods[name] && isNamed(pass, sel.X, "Tracer"):
+				recv = "Tracer"
+			case telemetryMethods[name] && isNamed(pass, sel.X, "Telemetry"):
+				recv = "Telemetry"
+			default:
+				return true
+			}
+			if guarded(pass, call) || pass.Waived(call, analysis.DirectiveTraceOK) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"unguarded %s.%s call in hot package %q evaluates its arguments even when observability is off; wrap in an Enabled()/nil-check if, or waive a cold path with //%s",
+				recv, name, pass.Pkg.Name(), analysis.DirectiveTraceOK)
+			return true
+		})
+	}
+	return nil
+}
+
+// guarded reports whether the call sits in the body of an if whose condition
+// checks Enabled(...) or performs a nil comparison. The search stops at the
+// enclosing function boundary: a guard outside a func literal does not cover
+// calls that run when the literal is later invoked.
+func guarded(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var prev ast.Node = call
+	for cur := pass.ParentOf(call); cur != nil; cur = pass.ParentOf(cur) {
+		switch p := cur.(type) {
+		case *ast.IfStmt:
+			if prev == p.Body && condGuards(p.Cond) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+		prev = cur
+	}
+	return false
+}
+
+// condGuards reports whether cond contains an Enabled(...) call or a
+// comparison against nil.
+func condGuards(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if s, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Enabled" {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.NEQ || e.Op == token.EQL {
+				if isNil(e.X) || isNil(e.Y) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isNamed reports whether e's type is (a pointer to) a named type with the
+// given name — trace.Tracer / telemetry.Telemetry in the real tree, local
+// stand-ins in fixtures.
+func isNamed(pass *analysis.Pass, e ast.Expr, name string) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}

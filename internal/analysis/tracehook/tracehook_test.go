@@ -1,0 +1,12 @@
+package tracehook_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracehook"
+)
+
+func TestTraceHook(t *testing.T) {
+	analysistest.Run(t, tracehook.Analyzer, "flagged", "clean", "coldpkg")
+}

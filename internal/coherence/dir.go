@@ -40,6 +40,7 @@ type pending struct {
 	invAcksLeft  int
 	rejected     bool
 	rejectorMode htm.Mode
+	rejector     int // rejecting core, for conflict provenance
 	evictAcks    int // back-invalidation in progress when > 0
 	evictCont    func()
 }
@@ -185,7 +186,8 @@ func (b *Bank) service(d *dirLine, m *Msg) {
 			}
 			b.sys.Arbiter.NoteRejected(m.Requester)
 			b.sendAfter(b.sys.DirLatency, Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
-				Requester: m.Requester, RejectorMode: b.sys.Arbiter.HolderMode()})
+				Requester: m.Requester, RejectorMode: b.sys.Arbiter.HolderMode(),
+				Rejector: b.sys.Arbiter.Holder()})
 			b.sys.free(m)
 			return
 		}
@@ -242,11 +244,12 @@ func (b *Bank) sendData(d *dirLine, t MsgType) {
 
 // reject closes a pending request with a reject response (the recovery
 // mechanism's withdrawn-request path: Fig. 2 step 6) and reopens the line.
-func (b *Bank) reject(d *dirLine, mode htm.Mode) {
+// rejector names the winning core for conflict provenance.
+func (b *Bank) reject(d *dirLine, mode htm.Mode, rejector int) {
 	m := d.pend.req
 	b.Rejections++
 	b.sendAfter(b.sys.DirLatency, Msg{Type: MsgReject, Line: m.Line, Dst: m.Src,
-		Requester: m.Requester, RejectorMode: mode})
+		Requester: m.Requester, RejectorMode: mode, Rejector: rejector})
 	b.reopen(d)
 }
 
@@ -312,7 +315,7 @@ func (b *Bank) ownerNacked(d *dirLine, m *Msg) {
 // ownerRejected withdraws the toxic request: the owner won the conflict and
 // keeps its state untouched (Fig. 4).
 func (b *Bank) ownerRejected(d *dirLine, m *Msg) {
-	b.reject(d, m.RejectorMode)
+	b.reject(d, m.RejectorMode, m.Rejector)
 }
 
 // collectInvAck records one sharer's invalidation for a GetM over sharers.
@@ -325,6 +328,7 @@ func (b *Bank) collectInvAck(d *dirLine, m *Msg) {
 func (b *Bank) collectInvReject(d *dirLine, m *Msg) {
 	d.pend.rejected = true
 	d.pend.rejectorMode = m.RejectorMode
+	d.pend.rejector = m.Rejector
 	b.finishInvRound(d)
 }
 
@@ -338,7 +342,7 @@ func (b *Bank) finishInvRound(d *dirLine) {
 		return
 	}
 	if d.pend.rejected {
-		b.reject(d, d.pend.rejectorMode)
+		b.reject(d, d.pend.rejectorMode, d.pend.rejector)
 		return
 	}
 	b.sendData(d, MsgDataE)

@@ -105,6 +105,10 @@ func (l1 *L1) Core() int { return l1.core }
 // Array exposes the data array to tests and stats.
 func (l1 *L1) Array() *cache.Array { return l1.arr }
 
+// MSHRCount returns the number of live MSHRs (in-flight plus parked) — the
+// telemetry MSHR-occupancy probe.
+func (l1 *L1) MSHRCount() int { return len(l1.mshrs) }
+
 // ParkedRequests returns the number of rejected requests currently held in
 // MSHRs awaiting a wake-up or timed retry (diagnostics).
 func (l1 *L1) ParkedRequests() int {
@@ -533,6 +537,11 @@ func (l1 *L1) rejected(m *Msg) {
 		return
 	}
 	dec := l1.sys.HTM.Conflict.Rejected(l1.Tx.Mode)
+	if t := l1.sys.Telemetry; t != nil {
+		// The loser's involvement is its request flavor: the line was being
+		// pulled into the read or write set when the rejector defeated it.
+		t.Conflict(m.Rejector, l1.core, m.Line, !ms.write, ms.write, dec.Abort)
+	}
 	if dec.Abort {
 		l1.resolveParked(ms)
 		l1.abortTx(l1.causeFromRejector(m))
@@ -723,7 +732,7 @@ func (l1 *L1) fwdReject(m *Msg) {
 			"reject %v from c%d (own prio %d vs %d)", m.Type, m.Requester, l1.Tx.Priority(), m.Prio)
 	}
 	l1.sendAfter(l1.arbDelay(), Msg{Type: MsgRejectFwd, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-		Requester: m.Requester, RejectorMode: l1.Tx.Mode})
+		Requester: m.Requester, RejectorMode: l1.Tx.Mode, Rejector: l1.core})
 }
 
 // dropAfterConflict invalidates the conflicting line after this owner lost
@@ -779,7 +788,7 @@ func (l1 *L1) respondForward(m *Msg, e *cache.Entry, inL1 bool) {
 						l1.fwdReject(&mv)
 						return
 					}
-					l1.abortTx(l1.victimCause(&mv))
+					l1.abortVictim(&mv, e)
 					l1.dropAfterConflict(e)
 					l1.nack(line, req)
 					return
@@ -837,7 +846,7 @@ func (l1 *L1) invReject(m *Msg) {
 	l1.RejectsSent++
 	l1.noteRejected(m)
 	l1.sendAfter(l1.arbDelay(), Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
-		Requester: m.Requester, RejectorMode: l1.Tx.Mode})
+		Requester: m.Requester, RejectorMode: l1.Tx.Mode, Rejector: l1.core})
 }
 
 // recallOverflow resolves an LLC back-invalidation recall of transactional
@@ -902,6 +911,21 @@ func (l1 *L1) victimCause(m *Msg) htm.AbortCause {
 		return htm.CauseMutex
 	}
 	return htm.CauseFor(m.ReqMode)
+}
+
+// abortVictim aborts this transaction after it lost arbitration to the
+// requester in m, recording conflict provenance (winner, loser, line, and
+// the victim's read/write-set membership) before the abort flash-clears the
+// transactional bits.
+func (l1 *L1) abortVictim(m *Msg, e *cache.Entry) {
+	if t := l1.sys.Telemetry; t != nil {
+		var read, write bool
+		if e != nil {
+			read, write = e.TxRead, e.TxWrite
+		}
+		t.Conflict(m.Requester, l1.core, m.Line, read, write, true)
+	}
+	l1.abortTx(l1.victimCause(m))
 }
 
 // noteRejected records the rejected requester for a wake-up at commit or

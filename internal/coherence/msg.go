@@ -120,6 +120,10 @@ type Msg struct {
 	// RejectorMode tells a rejected requester what kind of transaction
 	// defeated it (shapes its own abort cause under SelfAbort).
 	RejectorMode htm.Mode
+	// Rejector is the core whose transaction defeated the requester. It
+	// rides RejectFwd/InvReject and the final Reject so conflict
+	// provenance can attribute the winner (-1 when no core is nameable).
+	Rejector int
 	// Excl reports, on MsgUnblock, that the requester settled in an
 	// exclusive state (E/M) rather than S, and on MsgSigAdd whether the
 	// line was in the read set (Write==false) or write set (Write==true).

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -69,6 +70,9 @@ type System struct {
 	Arbiter *htm.Arbiter
 	// Tracer, when non-nil, records protocol events (see internal/trace).
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, receives conflict-provenance records (see
+	// internal/telemetry). Hot-path hook sites must nil-check it.
+	Telemetry *telemetry.Telemetry
 	// ArbiterTile hosts the centralized HTMLock arbiter.
 	ArbiterTile int
 	// LockLine is the fallback lock's cache line, used to classify

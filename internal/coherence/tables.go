@@ -340,7 +340,7 @@ func buildL1FwdTable() {
 	nackNoCopy := act("nack-no-copy", func(c l1FwdCtx) { c.l1.nack(c.m.Line, c.m.Requester) })
 	respond := act("transfer-ownership", func(c l1FwdCtx) { c.l1.respondForward(c.m, c.e, c.inL1) })
 	reject := act("reject-forward", func(c l1FwdCtx) { c.l1.fwdReject(c.m) })
-	abortVictim := act("abort-victim", func(c l1FwdCtx) { c.l1.abortTx(c.l1.victimCause(c.m)) })
+	abortVictim := act("abort-victim", func(c l1FwdCtx) { c.l1.abortVictim(c.m, c.e) })
 	dropOwned := act("drop-owned", func(c l1FwdCtx) { c.l1.dropAfterConflict(c.e) })
 	nackConflict := act("nack-conflict", func(c l1FwdCtx) { c.l1.nack(c.m.Line, c.m.Requester) })
 
@@ -407,7 +407,7 @@ func buildL1InvTable() {
 					act("reject-inv", func(c l1InvCtx) { c.l1.invReject(c.m) })}},
 			{From: invTx, On: invExternal, To: proto.Same,
 				Actions: []proto.Action[l1InvCtx]{
-					act("abort-victim", func(c l1InvCtx) { c.l1.abortTx(c.l1.victimCause(c.m)) }),
+					act("abort-victim", func(c l1InvCtx) { c.l1.abortVictim(c.m, c.e) }),
 					// The abort dropped write-set lines; a read-set line (it
 					// was Shared) survives it and is dropped now.
 					act("drop-survivor", func(c l1InvCtx) {

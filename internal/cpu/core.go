@@ -245,6 +245,9 @@ func (c *Core) startAttempt(sec Section) {
 	if tr := c.m.Cfg.Tracer; tr.Enabled(trace.CatTx) {
 		tr.Emitf(c.id, trace.CatTx, 0, "xbegin section=%d attempt=%d", c.secIdx, c.tx().Attempt)
 	}
+	if t := c.m.Cfg.Telemetry; t != nil {
+		t.TxBegin(c.id, c.secIdx, c.tx().Attempt)
+	}
 	tok := c.token
 	body := func() {
 		ops := sec.Body(c.tx().Attempt)
@@ -278,6 +281,9 @@ func (c *Core) finishAttempt(sec Section) {
 		c.applyStaged()
 		c.m.Sys.L1s[c.id].CommitTx()
 		c.st.Commits++
+		if t := c.m.Cfg.Telemetry; t != nil {
+			t.TxCommit(c.id, c.secIdx, c.tx().Attempt, c.tx().AttemptStart, false)
+		}
 		c.st.CloseAs(stats.CatHTM, stats.CatNonTx, c.now())
 		c.sectionDone()
 	case htm.STL:
@@ -287,6 +293,9 @@ func (c *Core) finishAttempt(sec Section) {
 		c.m.Sys.L1s[c.id].HLEnd()
 		c.st.Commits++ // the attempt's work was saved, not wasted
 		c.st.SwitchRuns++
+		if t := c.m.Cfg.Telemetry; t != nil {
+			t.TxCommit(c.id, c.secIdx, c.tx().Attempt, c.tx().AttemptStart, true)
+		}
 		c.st.CloseAs(stats.CatSwitchLock, stats.CatNonTx, c.now())
 		c.sectionDone()
 	default:
@@ -316,6 +325,9 @@ func (c *Core) OnDoom(cause htm.AbortCause) {
 	c.token++
 	c.staged = nil // discard speculative functional updates
 	c.st.Abort(cause)
+	if t := c.m.Cfg.Telemetry; t != nil {
+		t.TxAbort(c.id, c.secIdx, c.tx().Attempt, c.tx().AttemptStart, cause)
+	}
 	c.st.CloseAs(stats.CatAborted, stats.CatRollback, c.now())
 	if cause != htm.CauseMutex {
 		// Lock-busy aborts do not consume the retry budget: the thread

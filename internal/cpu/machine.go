@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	Limit uint64
 	// Tracer, when non-nil, records simulation events (internal/trace).
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, attaches the observability layer: sampled
+	// metrics series, Chrome-trace spans, and conflict provenance
+	// (internal/telemetry).
+	Telemetry *telemetry.Telemetry
 	// Placement binds threads to mesh tiles (default: packed, per paper).
 	Placement Placement
 }
@@ -124,6 +129,7 @@ func NewMachine(cfg Config, label, workload string, programs []Program) *Machine
 	if cfg.Tracer != nil {
 		cfg.Tracer.Now = engine.Now
 		sys.Tracer = cfg.Tracer
+		sys.Net.Tracer = cfg.Tracer
 	}
 	m := &Machine{
 		Cfg:      cfg,
@@ -140,7 +146,42 @@ func NewMachine(cfg Config, label, workload string, programs []Program) *Machine
 		c := newCore(m, coreOf[i], programs[i], m.Stats.Cores[i], rng.Split(uint64(i)))
 		m.Cores = append(m.Cores, c)
 	}
+	if tel := cfg.Telemetry; tel != nil {
+		m.attachTelemetry(tel)
+	}
 	return m
+}
+
+// attachTelemetry wires the observability layer into the machine: the
+// coherence layer gets the conflict-provenance hook, every stats core feeds
+// its closed segments to the Chrome trace and cycle-share series, and the
+// machine registers its NoC and MSHR probes before the first sample freezes
+// the registry.
+func (m *Machine) attachTelemetry(tel *telemetry.Telemetry) {
+	m.Sys.Telemetry = tel
+	for _, sc := range m.Stats.Cores {
+		sc.Sink = tel
+	}
+	net := m.Sys.Net
+	tel.Reg.RateSeries("noc_messages",
+		func() float64 { return float64(net.Messages) })
+	tel.Reg.RateSeries("noc_queue_wait",
+		func() float64 { return float64(net.QueueWait) })
+	// A WxH mesh has W*(H-1) vertical and H*(W-1) horizontal channels, each
+	// bidirectional: flit-hops over link-cycles is the mean link occupancy.
+	p := m.Cfg.Machine
+	links := 2 * (p.MeshW*(p.MeshH-1) + p.MeshH*(p.MeshW-1))
+	tel.Reg.PerCycleSeries("noc_link_occupancy",
+		func() float64 { return float64(net.FlitHops) }, float64(links))
+	sys := m.Sys
+	tel.Reg.GaugeSeries("mshr_occupancy", func() float64 {
+		n := 0
+		for _, l1 := range sys.L1s {
+			n += l1.MSHRCount()
+		}
+		return float64(n)
+	})
+	tel.Start(m.Engine, p.Cores)
 }
 
 // Run executes the machine to completion and returns the collected stats.

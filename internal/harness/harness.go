@@ -17,6 +17,7 @@ import (
 	"repro/internal/priority"
 	"repro/internal/stamp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -108,21 +109,36 @@ func (s Spec) key() string {
 }
 
 // Execute runs one simulation to completion.
-func Execute(s Spec) (*stats.Run, error) { return ExecuteTraced(s, nil) }
+func Execute(s Spec) (*stats.Run, error) { return ExecuteInstrumented(s, nil, nil) }
 
 // ExecuteTraced is Execute with an optional event tracer attached.
 func ExecuteTraced(s Spec, tracer *trace.Tracer) (*stats.Run, error) {
+	return ExecuteInstrumented(s, tracer, nil)
+}
+
+// ExecuteInstrumented is Execute with an optional event tracer and an
+// optional telemetry instance attached. Both may be nil; a non-nil telemetry
+// gets its Meta stamped from the spec and is ready for export after the run.
+func ExecuteInstrumented(s Spec, tracer *trace.Tracer, tel *telemetry.Telemetry) (*stats.Run, error) {
 	p := coherence.DefaultParams()
 	p.L1Size = s.Cache.L1Size
 	p.LLCSize = s.Cache.LLCSize
 	cfg := cpu.Config{
-		Machine: p,
-		HTM:     s.System.HTM,
-		Sync:    s.System.Sync,
-		Threads: s.Threads,
-		Seed:    s.Seed,
-		Limit:   4_000_000_000,
-		Tracer:  tracer,
+		Machine:   p,
+		HTM:       s.System.HTM,
+		Sync:      s.System.Sync,
+		Threads:   s.Threads,
+		Seed:      s.Seed,
+		Limit:     4_000_000_000,
+		Tracer:    tracer,
+		Telemetry: tel,
+	}
+	if tel != nil {
+		tel.Meta = telemetry.Meta{
+			System:   s.System.Name,
+			Threads:  s.Threads,
+			Workload: s.Workload.Name,
+		}
 	}
 	progs := stamp.Programs(s.Workload, s.Threads, s.Seed)
 	m := cpu.NewMachine(cfg, s.System.Name, s.Workload.Name, progs)

@@ -13,6 +13,7 @@ package noc
 import (
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Flit and message sizing from Table I: 16-byte flits; a 64-byte data
@@ -45,6 +46,10 @@ type Network struct {
 
 	// busyUntil[l] is the cycle at which directed link l becomes free.
 	busyUntil map[topology.Link]uint64
+
+	// Tracer, when non-nil, records CatNoC events: link enqueue,
+	// serialization stalls, and scheduled delivery.
+	Tracer *trace.Tracer
 
 	// Stats.
 	Messages  uint64
@@ -93,17 +98,29 @@ func (n *Network) arrival(src, dst, flits int) uint64 {
 		lat := uint64(len(route)) * (n.cfg.LinkLatency + n.cfg.RouterDelay)
 		return now + maxU64(lat, 1)
 	}
+	if n.Tracer.Enabled(trace.CatNoC) {
+		n.Tracer.Emitf(src, trace.CatNoC, 0, "enqueue %d->%d flits=%d hops=%d", src, dst, flits, len(route))
+	}
 	// Head-flit arrival time threads through each link in order; the link
 	// is then occupied for the serialization time of the whole message.
 	t := now
+	var stalled uint64
 	for _, l := range route {
 		start := maxU64(t, n.busyUntil[l])
 		n.QueueWait += start - t
+		stalled += start - t
 		t = start + n.cfg.LinkLatency + n.cfg.RouterDelay
 		n.busyUntil[l] = start + uint64(flits)
 	}
 	// Tail flit arrives (flits-1) cycles after the head.
-	return t + uint64(flits - 1)
+	t += uint64(flits - 1)
+	if n.Tracer.Enabled(trace.CatNoC) {
+		if stalled > 0 {
+			n.Tracer.Emitf(src, trace.CatNoC, 0, "serialization stall %d->%d wait=%d", src, dst, stalled)
+		}
+		n.Tracer.Emitf(dst, trace.CatNoC, 0, "dequeue %d->%d at=%d", src, dst, t)
+	}
+	return t
 }
 
 func maxU64(a, b uint64) uint64 {

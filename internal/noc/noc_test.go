@@ -1,10 +1,12 @@
 package noc
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 func newNet(cfg Config) (*sim.Engine, *Network) {
@@ -123,5 +125,51 @@ func TestMessageCounting(t *testing.T) {
 	}
 	if n.FlitHops != 5*2*ControlFlits {
 		t.Fatalf("FlitHops = %d", n.FlitHops)
+	}
+}
+
+func TestNoCTracerHooks(t *testing.T) {
+	tr := trace.New(64, map[trace.Category]bool{trace.CatNoC: true})
+	e, n := newNet(DefaultConfig())
+	n.Tracer = tr
+	tr.Now = e.Now
+	// Two data messages over the same route: the second serializes behind
+	// the first, so the trace must show enqueues, one stall, and dequeues.
+	n.Send(0, 3, DataFlits, func() {})
+	n.Send(0, 3, DataFlits, func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var enq, stall, deq int
+	for _, ev := range tr.Events() {
+		if ev.Cat != trace.CatNoC {
+			t.Fatalf("unexpected category %v", ev.Cat)
+		}
+		switch {
+		case strings.HasPrefix(ev.What, "enqueue"):
+			enq++
+		case strings.HasPrefix(ev.What, "serialization stall"):
+			stall++
+		case strings.HasPrefix(ev.What, "dequeue"):
+			deq++
+		}
+	}
+	if enq != 2 || deq != 2 || stall != 1 {
+		t.Fatalf("enqueue=%d stall=%d dequeue=%d, want 2/1/2", enq, stall, deq)
+	}
+}
+
+func TestNoCTracerDisabledByCategory(t *testing.T) {
+	// A tracer without CatNoC enabled must record nothing from the NoC.
+	tr := trace.New(64, map[trace.Category]bool{trace.CatProto: true})
+	e, n := newNet(DefaultConfig())
+	n.Tracer = tr
+	tr.Now = e.Now
+	n.Send(0, 3, DataFlits, func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("recorded %d events with CatNoC disabled", tr.Total())
 	}
 }

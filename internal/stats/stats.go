@@ -39,8 +39,21 @@ func (c Category) String() string {
 	return fmt.Sprintf("Category(%d)", uint8(c))
 }
 
+// SegmentSink receives every closed per-core cycle segment as it is
+// flushed — the telemetry layer implements it to build Chrome-trace spans
+// and per-interval cycle-share curves without a second accounting pass.
+// Zero-length segments are never delivered.
+type SegmentSink interface {
+	Segment(core int, cat Category, start, end uint64)
+}
+
 // Core accumulates one hardware thread's measurements.
 type Core struct {
+	// ID is the core's index within the run.
+	ID int
+	// Sink, when non-nil, observes every closed cycle segment.
+	Sink SegmentSink
+
 	Cycles [NumCategories]uint64
 
 	// Transaction accounting. Attempts counts speculative (HTM) execution
@@ -65,6 +78,9 @@ type Core struct {
 // StartSegment begins attributing cycles to the category at time now.
 func (c *Core) StartSegment(cat Category, now uint64) {
 	c.Cycles[c.segCat] += now - c.segStart
+	if c.Sink != nil && now > c.segStart {
+		c.Sink.Segment(c.ID, c.segCat, c.segStart, now)
+	}
 	c.segStart = now
 	c.segCat = cat
 }
@@ -76,6 +92,9 @@ func (c *Core) StartSegment(cat Category, now uint64) {
 // known.
 func (c *Core) CloseAs(as, next Category, now uint64) {
 	c.Cycles[as] += now - c.segStart
+	if c.Sink != nil && now > c.segStart {
+		c.Sink.Segment(c.ID, as, c.segStart, now)
+	}
 	c.segStart = now
 	c.segCat = next
 }
@@ -117,7 +136,7 @@ type Run struct {
 func NewRun(system, workload string, threads int) *Run {
 	r := &Run{System: system, Workload: workload, Threads: threads}
 	for i := 0; i < threads; i++ {
-		r.Cores = append(r.Cores, &Core{segCat: CatNonTx})
+		r.Cores = append(r.Cores, &Core{ID: i, segCat: CatNonTx})
 	}
 	return r
 }

@@ -110,6 +110,125 @@ func TestRunString(t *testing.T) {
 	}
 }
 
+// sinkRec records every flushed segment for the SegmentSink tests.
+type sinkRec struct {
+	segs []struct {
+		core       int
+		cat        Category
+		start, end uint64
+	}
+}
+
+func (s *sinkRec) Segment(core int, cat Category, start, end uint64) {
+	s.segs = append(s.segs, struct {
+		core       int
+		cat        Category
+		start, end uint64
+	}{core, cat, start, end})
+}
+
+func TestCloseAsAtSegmentBoundary(t *testing.T) {
+	// An abort landing exactly on the cycle the segment opened closes a
+	// zero-length segment: no cycles move, and the sink must not see it.
+	r := NewRun("sys", "wl", 1)
+	c := r.Cores[0]
+	sink := &sinkRec{}
+	c.Sink = sink
+	c.StartSegment(CatHTM, 50)
+	c.CloseAs(CatAborted, CatRollback, 50) // abort at the boundary
+	c.Finish(60)
+	if c.Cycles[CatAborted] != 0 {
+		t.Fatalf("zero-length abort segment accrued cycles: %v", c.Cycles)
+	}
+	if c.Cycles[CatRollback] != 10 {
+		t.Fatalf("rollback cycles = %v", c.Cycles)
+	}
+	for _, s := range sink.segs {
+		if s.start == s.end {
+			t.Fatalf("sink saw zero-length segment %+v", s)
+		}
+	}
+}
+
+func TestZeroLengthSegmentsSkipSink(t *testing.T) {
+	r := NewRun("sys", "wl", 1)
+	c := r.Cores[0]
+	sink := &sinkRec{}
+	c.Sink = sink
+	c.StartSegment(CatHTM, 0)      // closes [0,0) non-tran: zero-length
+	c.StartSegment(CatWaitLock, 0) // closes [0,0) htm: zero-length
+	c.StartSegment(CatLock, 20)    // closes [0,20) waitlock
+	c.Finish(20)                   // closes [20,20) lock: zero-length
+	if len(sink.segs) != 1 {
+		t.Fatalf("sink got %d segments, want 1: %+v", len(sink.segs), sink.segs)
+	}
+	s := sink.segs[0]
+	if s.cat != CatWaitLock || s.start != 0 || s.end != 20 || s.core != 0 {
+		t.Fatalf("segment = %+v", s)
+	}
+	if c.TotalCycles() != 20 {
+		t.Fatalf("total = %d", c.TotalCycles())
+	}
+}
+
+func TestFinishFlushesFinalSegment(t *testing.T) {
+	// Finish at simulation end must flush the open segment to both the
+	// cycle accumulators and the sink, and sink totals must equal the
+	// accumulator totals (no cycles invisible to telemetry).
+	r := NewRun("sys", "wl", 1)
+	c := r.Cores[0]
+	sink := &sinkRec{}
+	c.Sink = sink
+	c.StartSegment(CatHTM, 10)
+	c.CloseAs(CatAborted, CatRollback, 25)
+	c.StartSegment(CatHTM, 30)
+	c.CloseAs(CatHTM, CatNonTx, 55) // committed: keep htm
+	c.Finish(70)
+	var sunk uint64
+	for _, s := range sink.segs {
+		sunk += s.end - s.start
+	}
+	if sunk != c.TotalCycles() {
+		t.Fatalf("sink saw %d cycles, accumulators saw %d", sunk, c.TotalCycles())
+	}
+	last := sink.segs[len(sink.segs)-1]
+	if last.cat != CatNonTx || last.end != 70 {
+		t.Fatalf("final flush = %+v", last)
+	}
+	if c.Cycles[CatAborted] != 15 || c.Cycles[CatHTM] != 25 ||
+		c.Cycles[CatRollback] != 5 || c.Cycles[CatNonTx] != 25 {
+		t.Fatalf("cycles = %v", c.Cycles)
+	}
+}
+
+func TestRenderTransitionProfileDeterministic(t *testing.T) {
+	profile := []TransitionCount{
+		{Table: "l1req", From: "I", On: "load", To: "StoS", Label: "miss", Count: 7},
+		{Table: "l1req", From: "I", On: "store", To: "StoM", Label: "miss", Count: 9},
+		{Table: "l1req", From: "S", On: "store", Guard: "in-tx", To: "StoM", Label: "upg", Count: 9},
+		{Table: "dir", From: "M", On: "GetS", To: "S", Label: "fwd", Count: 3},
+		{Table: "dir", From: "I", On: "GetS", To: "S", Label: "mem", Count: 0},
+	}
+	a := TransitionProfileString(profile)
+	b := TransitionProfileString(profile)
+	if a != b {
+		t.Fatalf("two renders differ:\n%s\n---\n%s", a, b)
+	}
+	// Sorted-key order: tables alphabetical, rows by (From, On, Guard).
+	if !strings.Contains(a, "table dir") || strings.Index(a, "table dir") > strings.Index(a, "table l1req") {
+		t.Fatalf("tables not in sorted order:\n%s", a)
+	}
+	iLoad := strings.Index(a, "I x load")
+	iStore := strings.Index(a, "I x store")
+	sStore := strings.Index(a, "S x store [in-tx]")
+	if iLoad < 0 || iStore < 0 || sStore < 0 || !(iLoad < iStore && iStore < sStore) {
+		t.Fatalf("rows not in key order:\n%s", a)
+	}
+	if !strings.Contains(a, "1 never fired") {
+		t.Fatalf("cold-transition summary missing:\n%s", a)
+	}
+}
+
 func TestSectionsSum(t *testing.T) {
 	r := NewRun("s", "w", 3)
 	r.Cores[0].Sections = 5

@@ -21,20 +21,23 @@ type TransitionCount struct {
 	Count uint64
 }
 
-// RenderTransitionProfile writes the heat profile grouped by table, hottest
-// transitions first. Zero-count transitions are elided row-by-row but
-// summarized per table, so cold spots read as coverage information rather
-// than disappearing silently.
+// RenderTransitionProfile writes the heat profile grouped by table. Tables
+// and rows render in sorted-key order — table name, then (From, On, Guard) —
+// so two renders of the same profile (and diffs across runs) are
+// byte-stable regardless of how the rows were produced. Zero-count
+// transitions are elided row-by-row but summarized per table, so cold spots
+// read as coverage information rather than disappearing silently.
 func RenderTransitionProfile(w io.Writer, profile []TransitionCount) {
 	byTable := make(map[string][]TransitionCount)
-	var order []string
 	for _, tc := range profile {
-		if _, seen := byTable[tc.Table]; !seen {
-			order = append(order, tc.Table)
-		}
 		byTable[tc.Table] = append(byTable[tc.Table], tc)
 	}
-	for _, name := range order {
+	names := make([]string, 0, len(byTable))
+	for name := range byTable {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		rows := byTable[name]
 		var total uint64
 		cold := 0
@@ -46,9 +49,16 @@ func RenderTransitionProfile(w io.Writer, profile []TransitionCount) {
 		}
 		fmt.Fprintf(w, "table %s: %d transitions, %d fired, %d never fired\n",
 			name, len(rows), total, cold)
-		// Hottest first; declaration order breaks ties so the listing is
-		// deterministic.
-		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+		sort.SliceStable(rows, func(i, j int) bool {
+			a, b := rows[i], rows[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.On != b.On {
+				return a.On < b.On
+			}
+			return a.Guard < b.Guard
+		})
 		for _, tc := range rows {
 			if tc.Count == 0 {
 				continue

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ValidateSortedKeys checks that every object in the JSON document lists
+// its keys in strictly increasing (bytewise) order — the export-stability
+// rule all telemetry documents follow so diffs of two runs are clean.
+func ValidateSortedKeys(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	// stack holds, per open container, the last object key seen ("" before
+	// the first); array levels push a sentinel that never matches a key.
+	type level struct {
+		object  bool
+		lastKey string
+		expKey  bool // next string token is a key, not a value
+	}
+	var stack []level
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		top := func() *level {
+			if len(stack) == 0 {
+				return nil
+			}
+			return &stack[len(stack)-1]
+		}
+		switch v := tok.(type) {
+		case json.Delim:
+			switch v {
+			case '{':
+				stack = append(stack, level{object: true, expKey: true})
+			case '[':
+				stack = append(stack, level{})
+			case '}', ']':
+				stack = stack[:len(stack)-1]
+				if t := top(); t != nil && t.object {
+					t.expKey = true
+				}
+			}
+		case string:
+			t := top()
+			if t != nil && t.object && t.expKey {
+				if t.lastKey != "" && v <= t.lastKey {
+					return fmt.Errorf("telemetry: key %q out of order after %q at offset %d",
+						v, t.lastKey, dec.InputOffset())
+				}
+				t.lastKey = v
+				t.expKey = false
+				continue
+			}
+			if t != nil && t.object {
+				t.expKey = true
+			}
+		default:
+			if t := top(); t != nil && t.object {
+				t.expKey = true
+			}
+		}
+	}
+}
+
+// ValidateChromeTrace checks the structural schema of a Chrome-trace-event
+// JSON document: a traceEvents array whose entries carry a known phase,
+// name/pid/tid/ts fields, and durations on complete ("X") events.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   *uint64 `json:"ts"`
+			Dur  *uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("telemetry: chrome trace: missing traceEvents array")
+	}
+	valid := map[string]bool{
+		"B": true, "E": true, "X": true, "i": true, "I": true, "M": true,
+		"s": true, "t": true, "f": true, "C": true, "b": true, "e": true, "n": true,
+	}
+	for i, e := range doc.TraceEvents {
+		if !valid[e.Ph] {
+			return fmt.Errorf("telemetry: chrome trace: event %d has unknown phase %q", i, e.Ph)
+		}
+		if e.Name == nil {
+			return fmt.Errorf("telemetry: chrome trace: event %d (ph %q) has no name", i, e.Ph)
+		}
+		if e.Ph != "M" && e.Ts == nil {
+			return fmt.Errorf("telemetry: chrome trace: event %d (ph %q) has no ts", i, e.Ph)
+		}
+		if e.Ph == "X" && e.Dur == nil {
+			return fmt.Errorf("telemetry: chrome trace: complete event %d has no dur", i)
+		}
+	}
+	return nil
+}
+
+// ValidateMetrics checks the structural schema of a metrics JSON document:
+// sorted keys, nondecreasing sample cycles, equal-length series columns,
+// and the presence of the built-in rate curves.
+func ValidateMetrics(data []byte) error {
+	if err := ValidateSortedKeys(data); err != nil {
+		return err
+	}
+	var doc struct {
+		Cycles   *[]uint64            `json:"cycles"`
+		Interval *uint64              `json:"interval"`
+		Series   map[string][]float64 `json:"series"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("telemetry: metrics: %w", err)
+	}
+	if doc.Cycles == nil || doc.Interval == nil || doc.Series == nil {
+		return fmt.Errorf("telemetry: metrics: missing cycles/interval/series section")
+	}
+	cycles := *doc.Cycles
+	for i := 1; i < len(cycles); i++ {
+		if cycles[i] <= cycles[i-1] {
+			return fmt.Errorf("telemetry: metrics: sample cycles not increasing at index %d", i)
+		}
+	}
+	for _, name := range []string{"abort_rate", "commit_rate"} {
+		if _, ok := doc.Series[name]; !ok {
+			return fmt.Errorf("telemetry: metrics: missing built-in series %q", name)
+		}
+	}
+	//lockiller:ordered validation only reads lengths; no output or state depends on iteration order
+	for name, vals := range doc.Series {
+		if len(vals) != len(cycles) {
+			return fmt.Errorf("telemetry: metrics: series %q has %d points for %d samples",
+				name, len(vals), len(cycles))
+		}
+	}
+	return nil
+}

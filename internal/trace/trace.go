@@ -29,11 +29,14 @@ const (
 	CatHTMLock
 	// CatLock: fallback-lock acquire/release/handover.
 	CatLock
+	// CatNoC: interconnect activity — link enqueue, serialization stalls,
+	// and message delivery.
+	CatNoC
 	numCategories
 )
 
 func (c Category) String() string {
-	names := [...]string{"proto", "conflict", "tx", "htmlock", "lock"}
+	names := [...]string{"proto", "conflict", "tx", "htmlock", "lock", "noc"}
 	if int(c) < len(names) {
 		return names[c]
 	}

@@ -69,8 +69,11 @@ func TestParseCategoriesErrors(t *testing.T) {
 		t.Fatal("unknown category must error")
 	}
 	all, err := ParseCategories("")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != int(numCategories) {
 		t.Fatalf("empty filter should enable all: %v %v", all, err)
+	}
+	if !all[CatNoC] {
+		t.Fatal("empty filter should include noc")
 	}
 }
 

@@ -1,0 +1,56 @@
+#!/bin/sh
+# telemetry_smoke.sh — end-to-end observability check.
+#
+# Runs one small contended simulation with every telemetry surface enabled
+# (metrics sampling, Chrome trace, conflict provenance, noc event trace),
+# twice with the same seed, then asserts:
+#
+#   1. both runs produce byte-identical metrics and trace files
+#      (simulated-clock determinism survives full instrumentation);
+#   2. the metrics JSON passes ValidateMetrics + ValidateSortedKeys;
+#   3. the Chrome trace JSON passes ValidateChromeTrace + ValidateSortedKeys
+#      (i.e. it is loadable in ui.perfetto.dev);
+#   4. the CSV export renders without error.
+#
+# Fully offline; `make telemetry-smoke` and CI run this.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+SIM="go run ./cmd/lockillersim -system LockillerTM -workload intruder -threads 4 -seed 1 -interval 5000 -trace noc"
+
+echo "telemetry-smoke: run 1..." >&2
+$SIM -metrics "$TMP/m1.json" -chrometrace "$TMP/t1.json" >"$TMP/out1.txt"
+echo "telemetry-smoke: run 2 (same seed)..." >&2
+$SIM -metrics "$TMP/m2.json" -chrometrace "$TMP/t2.json" >"$TMP/out2.txt"
+
+cmp "$TMP/m1.json" "$TMP/m2.json" || {
+    echo "telemetry-smoke: FAIL: metrics JSON differs across same-seed runs" >&2
+    exit 1
+}
+cmp "$TMP/t1.json" "$TMP/t2.json" || {
+    echo "telemetry-smoke: FAIL: chrome trace differs across same-seed runs" >&2
+    exit 1
+}
+# The "wrote <path>" lines name different files per run; everything else
+# (stats, provenance report, sample count) must match byte-for-byte.
+grep -v ': wrote ' "$TMP/out1.txt" >"$TMP/out1.flt"
+grep -v ': wrote ' "$TMP/out2.txt" >"$TMP/out2.flt"
+cmp "$TMP/out1.flt" "$TMP/out2.flt" || {
+    echo "telemetry-smoke: FAIL: stdout (provenance report) differs across same-seed runs" >&2
+    exit 1
+}
+
+echo "telemetry-smoke: validating schemas..." >&2
+go run ./cmd/telemetryck -metrics "$TMP/m1.json" -chrometrace "$TMP/t1.json"
+
+echo "telemetry-smoke: CSV export..." >&2
+$SIM -metrics "$TMP/m.csv" >/dev/null
+head -1 "$TMP/m.csv" | grep -q '^cycle,' || {
+    echo "telemetry-smoke: FAIL: CSV export missing cycle header" >&2
+    exit 1
+}
+
+echo "telemetry-smoke: OK (metrics $(wc -c <"$TMP/m1.json") bytes, trace $(wc -c <"$TMP/t1.json") bytes)" >&2
