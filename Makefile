@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench telemetry-smoke figures eval clean
+.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench bench-compare telemetry-smoke figures eval clean
 
 all: vet lint build test
 
@@ -43,14 +43,21 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# Run the scheduler + full-simulator benchmarks and write BENCH_3.json
+# Run the scheduler + full-simulator benchmarks and write BENCH_4.json
 # (ns/op, B/op, allocs/op per benchmark). BENCH_1.json is the pre-refactor
-# baseline, BENCH_2.json the table-driven protocol engine; compare
-# SimulatorThroughput across files (±5% budget) and
-# TelemetryDisabledOverhead against SimulatorThroughput within BENCH_3
-# (< 2% budget for the disabled telemetry hooks).
+# baseline, BENCH_2.json the table-driven protocol engine, BENCH_3.json the
+# telemetry layer, BENCH_4.json the event-fusion fast path + allocation
+# cleanup; compare SimulatorThroughput across files and
+# TelemetryDisabledOverhead against SimulatorThroughput within a file
+# (< 2% budget for the disabled telemetry hooks). scripts/bench_compare.sh
+# diffs a fresh run against the newest committed BENCH_*.json.
 bench:
-	sh scripts/bench.sh BENCH_3.json
+	sh scripts/bench.sh BENCH_4.json
+
+# Regression guard: fresh bench run compared against the newest committed
+# BENCH_*.json (±15% per benchmark; FusedHitChain must stay 0 allocs/op).
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # Short end-to-end observability check: run one small simulation with all
 # telemetry enabled twice with the same seed, assert byte-identical output,

@@ -382,6 +382,45 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkFusedHitChain measures the steady-state per-op cost of the
+// event-fusion fast path (DESIGN.md §10): a single thread streaming compute
+// ops and guaranteed L1 hits, the exact shape fuseOps executes inline
+// without touching the event queue. The program is built as repeated chunks
+// sharing one ops backing array, so setup cost stays O(1) in b.N and the
+// steady state is pinned at 0 allocs/op — any allocation that appears here
+// is a regression on the fused chain itself.
+func BenchmarkFusedHitChain(b *testing.B) {
+	const lines = 64   // working set: one line per L1 set, fits trivially
+	const chunk = 4096 // ops per section; section overhead amortizes away
+	base := mem.Line(1 << 21)
+	warm := make([]cpu.Op, lines)
+	for i := range warm {
+		warm[i] = cpu.Write(base + mem.Line(i)) // fill to E/M: later ops all hit
+	}
+	body := make([]cpu.Op, chunk)
+	for i := range body {
+		switch i % 4 {
+		case 0, 2:
+			body[i] = cpu.Compute(1)
+		case 1:
+			body[i] = cpu.Read(base + mem.Line(i%lines))
+		default:
+			body[i] = cpu.Write(base + mem.Line((i+7)%lines))
+		}
+	}
+	prog := cpu.Program{cpu.Plain(warm)}
+	for done := 0; done < b.N; done += chunk {
+		prog = append(prog, cpu.Plain(body))
+	}
+	cfg := cpu.Config{Machine: coherence.DefaultParams(), Threads: 1, Seed: 1, Limit: 40_000_000_000}
+	m := cpu.NewMachine(cfg, "bench", "fused-hit-chain", []cpu.Program{prog})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // telemetryBenchSpec is the BenchmarkSimulatorThroughput machine point
 // (kmeans, LockillerTM, 8 threads, seed 1) expressed as a harness spec, so
 // the overhead pair below differs from the throughput benchmark only in

@@ -1,6 +1,6 @@
 // Command lockillerlint is the multichecker for the repository's custom
 // static-analysis suite. It loads the named packages from source (stdlib-only
-// module, no external driver needed) and runs the six lockiller passes:
+// module, no external driver needed) and runs the seven lockiller passes:
 //
 //	detmap        — order-dependent side effects in map-range loops of
 //	                deterministic packages
@@ -12,6 +12,8 @@
 //	                bypass the protocol transition tables
 //	tracehook     — unguarded Tracer.Emit/Emitf or Telemetry hook calls on
 //	                hot paths that pay argument evaluation when disabled
+//	fusepath      — evL1Done scheduled outside L1.finishHit, breaking the
+//	                event-fusion fast path's single-completion-site invariant
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/detmap"
 	"repro/internal/analysis/evtalloc"
+	"repro/internal/analysis/fusepath"
 	"repro/internal/analysis/nowallclock"
 	"repro/internal/analysis/poolsafe"
 	"repro/internal/analysis/tabledispatch"
@@ -41,6 +44,7 @@ import (
 var all = []*analysis.Analyzer{
 	detmap.Analyzer,
 	evtalloc.Analyzer,
+	fusepath.Analyzer,
 	nowallclock.Analyzer,
 	poolsafe.Analyzer,
 	tabledispatch.Analyzer,

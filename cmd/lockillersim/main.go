@@ -41,7 +41,17 @@ func main() {
 	interval := flag.Uint64("interval", 10_000, "telemetry sampling interval in simulated cycles")
 	chromePath := flag.String("chrometrace", "", "write a Chrome-trace-event (Perfetto) JSON trace to this path")
 	hotLines := flag.Int("hot-lines", 16, "number of hottest conflict lines to report")
+	fuse := flag.String("fuse", "on", "event-fusion fast path: on or off (results are identical; off is a diagnostic mode)")
 	flag.Parse()
+
+	var disableFusion bool
+	switch *fuse {
+	case "on":
+	case "off":
+		disableFusion = true
+	default:
+		fatal(fmt.Errorf("unknown -fuse value %q (want on or off)", *fuse))
+	}
 
 	if *list {
 		fmt.Println("Systems (Table II):")
@@ -87,7 +97,8 @@ func main() {
 		}
 		tracer = trace.New(*traceN, cats)
 	}
-	spec := harness.Spec{System: sys, Workload: wl, Threads: *threads, Cache: cache, Seed: *seed}
+	spec := harness.Spec{System: sys, Workload: wl, Threads: *threads, Cache: cache, Seed: *seed,
+		DisableFusion: disableFusion}
 	if *exportPath != "" {
 		f, err := os.Create(*exportPath)
 		if err != nil {
@@ -211,7 +222,7 @@ func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry
 	cfg := cpu.Config{
 		Machine: p, HTM: spec.System.HTM, Sync: spec.System.Sync,
 		Threads: len(progs), Seed: spec.Seed, Limit: 4_000_000_000, Tracer: tracer,
-		Telemetry: tel,
+		Telemetry: tel, DisableFusion: spec.DisableFusion,
 	}
 	if tel != nil {
 		tel.Meta = telemetry.Meta{

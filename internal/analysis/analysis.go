@@ -84,12 +84,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	                        test that cross-checks it against the tables
 //	//lockiller:trace-ok  — tracehook: the unguarded observability call is on
 //	                        a cold path; say why in the trailing text
+//	//lockiller:fusepath-ok — fusepath: a deliberate new evL1Done scheduling
+//	                        site; say why, and update the fusion equivalence
+//	                        reasoning in DESIGN.md §10
 const (
 	DirectiveOrdered     = "lockiller:ordered"
 	DirectiveAllocOK     = "lockiller:alloc-ok"
 	DirectivePoolOK      = "lockiller:pool-ok"
 	DirectiveRawDispatch = "lockiller:rawdispatch"
 	DirectiveTraceOK     = "lockiller:trace-ok"
+	DirectiveFusePathOK  = "lockiller:fusepath-ok"
 )
 
 // Waived reports whether node n is waived by the given directive: a comment

@@ -1,0 +1,12 @@
+package fusepath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fusepath"
+)
+
+func TestFusePath(t *testing.T) {
+	analysistest.Run(t, fusepath.Analyzer, "flagged", "clean", "otherpkg")
+}

@@ -1,0 +1,35 @@
+// Package coherence is a fusepath fixture: a controller whose only
+// evL1Done scheduling site is finishHit passes clean.
+package coherence
+
+// Engine stands in for sim.Engine.
+type Engine struct{}
+
+// Handler mirrors sim.Handler.
+type Handler interface {
+	OnEvent(kind uint8, a uint64, p any)
+}
+
+func (e *Engine) AfterEvent(d uint64, h Handler, kind uint8, a uint64, p any) {}
+
+const evL1Done uint8 = 0
+
+type l1ctl struct {
+	engine *Engine
+	epoch  uint64
+}
+
+func (l1 *l1ctl) OnEvent(kind uint8, a uint64, p any) {
+	switch kind {
+	case evL1Done: // case label, not a scheduling site
+	}
+}
+
+func (l1 *l1ctl) finishHit(done func()) {
+	l1.engine.AfterEvent(2, l1, evL1Done, l1.epoch, done)
+}
+
+// hit funnels through finishHit like the real slow path.
+func (l1 *l1ctl) hit(done func()) {
+	l1.finishHit(done)
+}

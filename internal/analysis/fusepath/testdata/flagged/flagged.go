@@ -1,0 +1,54 @@
+// Package coherence is a fusepath fixture: scheduling evL1Done outside
+// finishHit must be flagged. Engine mirrors sim.Engine's typed scheduling
+// surface (fixtures are self-contained).
+package coherence
+
+// Engine stands in for sim.Engine.
+type Engine struct{}
+
+// Handler mirrors sim.Handler.
+type Handler interface {
+	OnEvent(kind uint8, a uint64, p any)
+}
+
+func (e *Engine) AtEvent(t uint64, h Handler, kind uint8, a uint64, p any)    {}
+func (e *Engine) AfterEvent(d uint64, h Handler, kind uint8, a uint64, p any) {}
+
+const (
+	evL1Done uint8 = iota
+	evL1MshrDone
+)
+
+type l1ctl struct {
+	engine *Engine
+	epoch  uint64
+}
+
+func (l1 *l1ctl) OnEvent(kind uint8, a uint64, p any) {}
+
+// finishHit is the sanctioned completion site: not flagged.
+func (l1 *l1ctl) finishHit(done func()) {
+	l1.engine.AfterEvent(2, l1, evL1Done, l1.epoch, done)
+}
+
+// promoteDone schedules the hit completion from a second site: the fusion
+// fast path cannot see it.
+func (l1 *l1ctl) promoteDone(done func()) {
+	l1.engine.AfterEvent(4, l1, evL1Done, l1.epoch, done) // want `evL1Done scheduled outside finishHit`
+}
+
+// retryDone hides the rogue site behind AtEvent instead: still flagged.
+func (l1 *l1ctl) retryDone(t uint64, done func()) {
+	l1.engine.AtEvent(t, l1, evL1Done, l1.epoch, done) // want `evL1Done scheduled outside finishHit`
+}
+
+// waivedDone is a deliberate, justified second site.
+func (l1 *l1ctl) waivedDone(done func()) {
+	//lockiller:fusepath-ok fixture: pretend DESIGN.md §10 was updated
+	l1.engine.AfterEvent(4, l1, evL1Done, l1.epoch, done)
+}
+
+// otherEvent schedules a different kind: not the fast path's concern.
+func (l1 *l1ctl) otherEvent(done func()) {
+	l1.engine.AfterEvent(1, l1, evL1MshrDone, l1.epoch, done)
+}

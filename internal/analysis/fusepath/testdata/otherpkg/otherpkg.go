@@ -1,0 +1,24 @@
+// Package cpu is a fusepath fixture: the single-site rule only binds the
+// coherence package — other packages naming an unrelated evL1Done are not
+// flagged.
+package cpu
+
+type Engine struct{}
+
+type Handler interface {
+	OnEvent(kind uint8, a uint64, p any)
+}
+
+func (e *Engine) AfterEvent(d uint64, h Handler, kind uint8, a uint64, p any) {}
+
+const evL1Done uint8 = 0
+
+type core struct {
+	engine *Engine
+}
+
+func (c *core) OnEvent(kind uint8, a uint64, p any) {}
+
+func (c *core) schedule(done func()) {
+	c.engine.AfterEvent(2, c, evL1Done, 0, done)
+}

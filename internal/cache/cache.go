@@ -107,7 +107,9 @@ func (a *Array) set(idx int) []Entry { return a.entries[idx*a.ways : (idx+1)*a.w
 func (a *Array) Lookup(l mem.Line) *Entry {
 	s := a.set(a.SetOf(l))
 	for i := range s {
-		if s[i].State != Invalid && s[i].Line == l {
+		// Tag compare first: ways that miss (the common case) fall through
+		// on a single predictable uint64 compare.
+		if s[i].Line == l && s[i].State != Invalid {
 			a.clock++
 			s[i].lru = a.clock
 			return &s[i]
@@ -121,7 +123,7 @@ func (a *Array) Lookup(l mem.Line) *Entry {
 func (a *Array) Peek(l mem.Line) *Entry {
 	s := a.set(a.SetOf(l))
 	for i := range s {
-		if s[i].State != Invalid && s[i].Line == l {
+		if s[i].Line == l && s[i].State != Invalid {
 			return &s[i]
 		}
 	}
@@ -197,6 +199,11 @@ func (a *Array) CountTx() (reads, writes int) {
 func (a *Array) ClearTx(invalidateWrites bool) (dropped []mem.Line) {
 	for i := range a.entries {
 		e := &a.entries[i]
+		// Untouched entries (the vast majority each commit) fall through
+		// without dirtying their cache line.
+		if !e.TxRead && !e.TxWrite {
+			continue
+		}
 		if e.State == Invalid {
 			continue
 		}

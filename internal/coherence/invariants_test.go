@@ -55,7 +55,7 @@ func checkDirConsistency(t *testing.T, sys *System) {
 				return
 			}
 			b := sys.Banks[sys.HomeBank(e.Line)]
-			d := b.dir[e.Line]
+			d := b.dir.lookup(e.Line)
 			if d == nil || d.state != dirEM || d.owner != core {
 				t.Fatalf("dir inconsistency: core %d holds line %d in %v but dir says %+v",
 					core, e.Line, e.State, d)

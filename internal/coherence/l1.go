@@ -36,6 +36,10 @@ type mshr struct {
 	epoch   uint64
 	state   mshrState
 	done    func()
+	// doneEp is done's guard epoch: done fires only while l1.epoch still
+	// equals it. Storing the pair instead of a guard closure keeps the
+	// dominant miss path allocation-free (see guard).
+	doneEp  uint64
 	waiters []func()
 	parkSeq uint64 // invalidates stale park timeouts; monotonic across reuse
 	freed   bool   // on the free list; guards against double frees
@@ -55,7 +59,9 @@ type L1 struct {
 	client Client
 	epoch  uint64 // bumped on every abort; stale callbacks are dropped
 
-	mshrs map[mem.Line]*mshr
+	// mshrs is an open-addressed line→MSHR table (see mshrtable.go): flat,
+	// allocation-free in steady state, with O(1) live/parked counts.
+	mshrs mshrTable
 	// mshrScratch is reused by sortedMshrs (deterministic iteration);
 	// mshrFree recycles resolved MSHRs (one is allocated per miss).
 	mshrScratch []*mshr
@@ -85,7 +91,7 @@ func newL1(sys *System, core int) *L1 {
 		core:  core,
 		arr:   cache.NewArray(sys.L1Size, sys.L1Ways),
 		Tx:    &htm.TxState{Core: core, Cfg: sys.HTM},
-		mshrs: make(map[mem.Line]*mshr),
+		mshrs: newMshrTable(mshrTableCap),
 	}
 	if sys.MidSize > 0 {
 		l1.mid = cache.NewArray(sys.MidSize, sys.MidWays)
@@ -106,20 +112,12 @@ func (l1 *L1) Core() int { return l1.core }
 func (l1 *L1) Array() *cache.Array { return l1.arr }
 
 // MSHRCount returns the number of live MSHRs (in-flight plus parked) — the
-// telemetry MSHR-occupancy probe.
-func (l1 *L1) MSHRCount() int { return len(l1.mshrs) }
+// telemetry MSHR-occupancy probe. O(1): the table keeps the count.
+func (l1 *L1) MSHRCount() int { return l1.mshrs.live }
 
 // ParkedRequests returns the number of rejected requests currently held in
-// MSHRs awaiting a wake-up or timed retry (diagnostics).
-func (l1 *L1) ParkedRequests() int {
-	n := 0
-	for _, ms := range l1.mshrs {
-		if ms.state == mshrParked {
-			n++
-		}
-	}
-	return n
-}
+// MSHRs awaiting a wake-up or timed retry (diagnostics). O(1).
+func (l1 *L1) ParkedRequests() int { return l1.mshrs.parked }
 
 // send routes a message from this L1 through the System's message pool.
 func (l1 *L1) send(v Msg) {
@@ -136,8 +134,20 @@ func (l1 *L1) sendAfter(d uint64, v Msg) {
 }
 
 // guard wraps a CPU continuation so it fires only if no abort intervened.
+//
+// The dominant miss path no longer builds this closure: the MSHR carries the
+// raw continuation plus its guard epoch (ms.done / ms.doneEp) and the
+// completion site performs the epoch check directly. guard remains for the
+// cold paths (mid-cache promotes, stale-retry re-dispatch) where the
+// continuation outlives the MSHR.
 func (l1 *L1) guard(fn func()) func() {
-	ep := l1.epoch
+	return l1.guardAt(l1.epoch, fn)
+}
+
+// guardAt is guard with an explicit capture epoch: the continuation fires
+// only if l1.epoch still equals ep. Epochs are monotonic, so wrapping an
+// already-guarded continuation with a later epoch is a no-op filter.
+func (l1 *L1) guardAt(ep uint64, fn func()) func() {
 	return func() {
 		if l1.epoch == ep && fn != nil {
 			fn()
@@ -157,7 +167,7 @@ func (l1 *L1) tracking() bool { return l1.Tx.InTx() }
 // event carrying the access-time epoch, so no guard closure is built. Miss
 // paths wrap done in an epoch guard as before (one closure per miss).
 func (l1 *L1) Access(line mem.Line, write bool, done func()) {
-	if m, ok := l1.mshrs[line]; ok {
+	if m := l1.mshrs.lookup(line); m != nil {
 		// A request for this line is already outstanding (e.g. issued by a
 		// previous, aborted attempt). Re-dispatch when it resolves.
 		ep := l1.epoch
@@ -178,7 +188,7 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 		// Store to a Shared line: upgrade.
 		l1.Misses++
 		e.State = cache.StoM
-		l1.issue(line, true, l1.guard(done))
+		l1.issue(line, true, done, l1.epoch)
 		return
 	}
 	if e != nil {
@@ -194,7 +204,7 @@ func (l1 *L1) Access(line mem.Line, write bool, done func()) {
 		return
 	}
 	l1.Misses++
-	l1.allocateAndIssue(line, write, l1.guard(done))
+	l1.allocateAndIssue(line, write, done, l1.epoch)
 }
 
 // Typed-event kinds handled by L1.OnEvent.
@@ -216,8 +226,8 @@ func (l1 *L1) OnEvent(kind uint8, a uint64, p any) {
 		}
 	case evL1MshrDone:
 		ms := p.(*mshr)
-		if ms.done != nil {
-			ms.done() // epoch-guarded by the closure itself
+		if ms.done != nil && ms.doneEp == l1.epoch {
+			ms.done() // unwrapped continuation: the epoch check replaces the guard closure
 		}
 		for _, w := range ms.waiters {
 			w()
@@ -229,7 +239,7 @@ func (l1 *L1) OnEvent(kind uint8, a uint64, p any) {
 		// identity + epoch + parkSeq checks defuse stale timeouts exactly
 		// as the old capturing closure did.
 		ms := p.(*mshr)
-		if l1.epoch&epochMask == a>>32 && l1.mshrs[ms.line] == ms &&
+		if l1.epoch&epochMask == a>>32 && l1.mshrs.lookup(ms.line) == ms &&
 			ms.state == mshrParked && ms.parkSeq&epochMask == a&epochMask {
 			l1.retry(ms)
 		}
@@ -245,6 +255,16 @@ const epochMask = 1<<32 - 1
 // hit completes an access that hit in the L1. done may be unguarded: the
 // completion event carries the current epoch and is dropped on mismatch.
 func (l1 *L1) hit(e *cache.Entry, write bool, done func()) {
+	l1.hitUpdate(e, write)
+	l1.finishHit(done)
+}
+
+// hitUpdate applies the architectural effects of an L1 hit — state upgrade,
+// dirty bit, transactional metadata, and the eager pre-transactional
+// writeback — without scheduling the completion. It is shared verbatim by
+// the slow (typed-event) and fast (fused inline) hit paths, so the two are
+// indistinguishable to the protocol.
+func (l1 *L1) hitUpdate(e *cache.Entry, write bool) {
 	tx := l1.tracking()
 	if write {
 		if tx && l1.Tx.Mode == htm.HTM && e.Dirty && !e.TxWrite {
@@ -266,13 +286,57 @@ func (l1 *L1) hit(e *cache.Entry, write bool, done func()) {
 		e.TxRead = true
 		l1.Tx.ReadLines++
 	}
+}
+
+// finishHit schedules the typed hit-completion event. This is the single
+// sanctioned evL1Done scheduling site (enforced by the fusepath analyzer):
+// any other hit-completion must either go through here or qualify for
+// TryFastHit's inline retirement.
+func (l1 *L1) finishHit(done func()) {
 	l1.sys.Engine.AfterEvent(l1.sys.L1Hit, l1, evL1Done, l1.epoch, done)
 }
 
+// TryFastHit is the coherence half of the event-fusion fast path (DESIGN.md
+// §10). If the access is a guaranteed L1 hit — no MSHR outstanding for the
+// line, a valid copy present, and (for stores) write permission already held
+// — it applies the full hit effects and returns true WITHOUT scheduling the
+// completion event; the core then retires the access inline, lazily
+// advancing simulated time by the hit latency. Any other case returns false
+// with no state touched, and the caller must take the ordinary Access path.
+//
+// Exactness: the effects applied here are hitUpdate's, at the same cycle
+// Access would apply them, and the only events a hit can generate (the
+// eager transactional writeback) are sent identically. The caller remains
+// responsible for proving via Engine.PeekNext that no pending event fires
+// at or before the inline completion time.
+func (l1 *L1) TryFastHit(line mem.Line, write bool) bool {
+	if l1.mshrs.lookup(line) != nil {
+		return false // outstanding request: the access must queue behind it
+	}
+	e := l1.arr.Lookup(line)
+	if e == nil || !e.State.Valid() {
+		return false // miss or transient: full machinery required
+	}
+	if write && e.State != cache.Exclusive && e.State != cache.Modified {
+		return false // store to Shared: upgrade request required
+	}
+	l1.Hits++
+	l1.hitUpdate(e, write)
+	return true
+}
+
+// FinishFastHit completes a TryFastHit through the typed event path —
+// bit-identical to the slow hit — for when an event materialized inside the
+// hit-latency window (e.g. the hit's own transactional writeback delivery)
+// after the hit effects were already applied.
+func (l1 *L1) FinishFastHit(done func()) { l1.finishHit(done) }
+
 // allocateAndIssue finds a way for the missing line — possibly triggering
-// the capacity-overflow machinery — and sends the request.
-func (l1 *L1) allocateAndIssue(line mem.Line, write bool, gdone func()) {
-	v := l1.allocateWay(line, write, gdone)
+// the capacity-overflow machinery — and sends the request. done and ep
+// travel unwrapped (the MSHR stores both), so the common miss costs no
+// guard-closure allocation.
+func (l1 *L1) allocateAndIssue(line mem.Line, write bool, done func(), ep uint64) {
+	v := l1.allocateWay(line, write, done, ep)
 	if v == nil {
 		return // diverted to the overflow machinery
 	}
@@ -281,20 +345,20 @@ func (l1 *L1) allocateAndIssue(line mem.Line, write bool, gdone func()) {
 		st = cache.ItoM
 	}
 	l1.arr.Install(v, line, st)
-	l1.issue(line, write, gdone)
+	l1.issue(line, write, done, ep)
 }
 
 // allocateWay finds (and frees) an L1 way for the line, returning nil when
 // the access was diverted to the overflow machinery.
-func (l1 *L1) allocateWay(line mem.Line, write bool, gdone func()) *cache.Entry {
+func (l1 *L1) allocateWay(line mem.Line, write bool, done func(), ep uint64) *cache.Entry {
 	if l1.midEnabled() {
-		return l1.l1VictimOrDemote(line, write, gdone)
+		return l1.l1VictimOrDemote(line, write, done, ep)
 	}
 	avoidTx := func(e *cache.Entry) bool { return e.Tx() }
 	v := l1.arr.Victim(line, avoidTx)
 	if v == nil {
 		// Every way in the set holds transactional data: capacity overflow.
-		l1.overflow(line, write, gdone)
+		l1.overflow(line, write, done, ep)
 		return nil
 	}
 	if v.State.Valid() {
@@ -307,7 +371,7 @@ func (l1 *L1) allocateWay(line mem.Line, write bool, gdone func()) *cache.Entry 
 // OverflowPolicy: lock transactions spill a line into the LLC signatures;
 // under switchingMode an HTM transaction's first own-allocation overflow
 // applies for STL authorization; otherwise it aborts with a capacity cause.
-func (l1 *L1) overflow(line mem.Line, write bool, gdone func()) {
+func (l1 *L1) overflow(line mem.Line, write bool, done func(), ep uint64) {
 	switch l1.sys.HTM.Overflow.Decide(l1.Tx.Mode, l1.Tx.TriedSwitch, false) {
 	case htm.OverflowSpill:
 		v := l1.arr.AnyVictim(line)
@@ -320,12 +384,12 @@ func (l1 *L1) overflow(line mem.Line, write bool, gdone func()) {
 			st = cache.ItoM
 		}
 		l1.arr.Install(v, line, st)
-		l1.issue(line, write, gdone)
+		l1.issue(line, write, done, ep)
 	case htm.OverflowSwitch:
 		// Fig. 6: revoke the request, enter applyingHLA, apply to the LLC
 		// for STL authorization, and re-issue the revoked request after the
 		// decision (retrying it as the lock-mode spill path on grant).
-		l1.trySwitch(func() { l1.allocateAndIssue(line, write, gdone) })
+		l1.trySwitch(func() { l1.allocateAndIssue(line, write, done, ep) })
 	default:
 		if l1.Tx.Mode != htm.HTM {
 			panic(fmt.Sprintf("coherence: L1 %d overflow outside a transaction (mode %v)", l1.core, l1.Tx.Mode))
@@ -403,11 +467,14 @@ func (l1 *L1) freeMshr(ms *mshr) {
 }
 
 // issue creates the MSHR and sends the coherence request with the current
-// priority piggybacked (the recovery mechanism's user-defined data).
-func (l1 *L1) issue(line mem.Line, write bool, gdone func()) {
+// priority piggybacked (the recovery mechanism's user-defined data). done is
+// stored unwrapped with its guard epoch ep; the completion site (evL1MshrDone)
+// performs the epoch check the guard closure used to.
+func (l1 *L1) issue(line mem.Line, write bool, done func(), ep uint64) {
 	m := l1.newMshr()
-	m.line, m.write, m.txBits, m.epoch, m.done = line, write, l1.tracking(), l1.epoch, gdone
-	l1.mshrs[line] = m
+	m.line, m.write, m.txBits, m.epoch = line, write, l1.tracking(), l1.epoch
+	m.done, m.doneEp = done, ep
+	l1.mshrs.insert(m)
 	l1.sendReq(m)
 }
 
@@ -461,11 +528,11 @@ func (l1 *L1) applyDecision(m *Msg) {
 // the CPU and any waiters. A fill for a line in a stable state is a
 // declared protocol violation; dispatch panics with the recorded reason.
 func (l1 *L1) fill(m *Msg) {
-	ms := l1.mshrs[m.Line]
+	ms := l1.mshrs.lookup(m.Line)
 	if ms == nil {
 		panic(fmt.Sprintf("coherence: L1 %d fill without MSHR for line %d", l1.core, m.Line))
 	}
-	delete(l1.mshrs, m.Line)
+	l1.mshrs.remove(m.Line)
 	e := l1.arr.Lookup(m.Line)
 	if e == nil {
 		panic(fmt.Sprintf("coherence: L1 %d fill for uncached line %d", l1.core, m.Line))
@@ -511,7 +578,7 @@ func (l1 *L1) fillComplete(ms *mshr) {
 // rejected handles a withdrawn request (recovery mechanism / signature
 // hit): restore the pre-request state and apply the reject policy.
 func (l1 *L1) rejected(m *Msg) {
-	ms := l1.mshrs[m.Line]
+	ms := l1.mshrs.lookup(m.Line)
 	if ms == nil {
 		panic(fmt.Sprintf("coherence: L1 %d reject without MSHR for line %d", l1.core, m.Line))
 	}
@@ -562,7 +629,7 @@ func (l1 *L1) causeFromRejector(m *Msg) htm.AbortCause {
 // park holds a rejected request in the MSHR and schedules a retry after the
 // timeout; an earlier wake-up retries sooner.
 func (l1 *L1) park(ms *mshr, timeout uint64) {
-	ms.state = mshrParked
+	l1.mshrs.setParked(ms)
 	ms.parkSeq++
 	l1.sys.Engine.AfterEvent(timeout, l1, evL1ParkRetry,
 		l1.epoch<<32|ms.parkSeq&epochMask, ms)
@@ -581,12 +648,17 @@ func (l1 *L1) wakeParked() {
 
 // sortedMshrs returns the MSHRs in ascending line order, reusing a scratch
 // slice so steady-state iteration does not allocate (sort.Slice would box
-// its comparator; see TestSortedMshrsNoAlloc). Insertion sort is exact here:
-// lines are unique map keys and the population is MSHR-sized (a handful).
+// its comparator; see TestSortedMshrsNoAlloc). The table's slot order is
+// already deterministic (it depends only on the insertion history), but the
+// drain order is pinned to line order so it is also self-evidently
+// independent of hash layout and growth history. Insertion sort is exact:
+// lines are unique table keys and the population is MSHR-sized (a handful).
 func (l1 *L1) sortedMshrs() []*mshr {
 	s := l1.mshrScratch[:0]
-	//lockiller:ordered the loop body is an insertion sort by line (unique keys), so the result is a total order independent of map iteration
-	for _, ms := range l1.mshrs {
+	for _, ms := range l1.mshrs.slots {
+		if ms == nil {
+			continue
+		}
 		i := len(s)
 		s = append(s, ms)
 		for ; i > 0 && s[i-1].line > ms.line; i-- {
@@ -605,7 +677,7 @@ func (l1 *L1) retry(ms *mshr) {
 		l1.resolveParked(ms)
 		return
 	}
-	ms.state = mshrInFlight
+	l1.mshrs.setInFlight(ms)
 	e := l1.arr.Lookup(ms.line)
 	if e != nil && e.State.Valid() {
 		if e.State == cache.Shared && ms.write {
@@ -621,8 +693,11 @@ func (l1 *L1) retry(ms *mshr) {
 	}
 	// Re-allocate a way; the set may have changed since the reject.
 	if me := l1.midLookup(ms.line); me != nil && me.State.Valid() {
-		delete(l1.mshrs, ms.line)
-		line, write, done := ms.line, ms.write, ms.done // the MSHR is recycled before the promote fires
+		l1.mshrs.remove(ms.line)
+		// The MSHR is recycled before the promote fires, so the continuation
+		// leaves it here — re-wrapped in its guard epoch, since the promote
+		// machinery expects a self-guarding closure.
+		line, write, done := ms.line, ms.write, l1.guardAt(ms.doneEp, ms.done)
 		//lockiller:alloc-ok three-level baseline only; the promote carries two pointers + a flag, which the typed payload cannot hold unboxed
 		l1.sys.Engine.After(l1.sys.MidHit, func() { l1.promoteFromMid(line, me, write, done) })
 		for _, w := range ms.waiters {
@@ -631,13 +706,13 @@ func (l1 *L1) retry(ms *mshr) {
 		l1.freeMshr(ms)
 		return
 	}
-	v := l1.allocateWay(ms.line, ms.write, ms.done)
+	v := l1.allocateWay(ms.line, ms.write, ms.done, ms.doneEp)
 	if v == nil {
 		// Diverted to the overflow machinery, which may have synchronously
 		// issued a fresh MSHR for the same line (lock-mode signature spill):
-		// only drop the map entry if it is still ours.
-		if l1.mshrs[ms.line] == ms {
-			delete(l1.mshrs, ms.line)
+		// only drop the table entry if it is still ours.
+		if l1.mshrs.lookup(ms.line) == ms {
+			l1.mshrs.remove(ms.line)
 		}
 		for _, w := range ms.waiters {
 			w()
@@ -656,7 +731,7 @@ func (l1 *L1) retry(ms *mshr) {
 // fillFromLocal completes a parked request that a later access already
 // satisfied.
 func (l1 *L1) fillFromLocal(ms *mshr, e *cache.Entry) {
-	delete(l1.mshrs, ms.line)
+	l1.mshrs.remove(ms.line)
 	if ms.write {
 		if e.State == cache.Exclusive {
 			e.State = cache.Modified
@@ -677,7 +752,7 @@ func (l1 *L1) fillFromLocal(ms *mshr, e *cache.Entry) {
 
 // resolveParked drops a dead MSHR, re-dispatching any waiters.
 func (l1 *L1) resolveParked(ms *mshr) {
-	delete(l1.mshrs, ms.line)
+	l1.mshrs.remove(ms.line)
 	for _, w := range ms.waiters {
 		w()
 	}
@@ -753,20 +828,6 @@ func (l1 *L1) dropAfterConflict(e *cache.Entry) {
 // so it captures the fields it needs rather than the message.
 func (l1 *L1) respondForward(m *Msg, e *cache.Entry, inL1 bool) {
 	line, req, getS := m.Line, m.Requester, m.Type == MsgFwdGetS
-	respond := func(e *cache.Entry) {
-		if getS {
-			e.State = cache.Shared
-			e.Dirty = false
-		} else {
-			wasTx := e.Tx()
-			e.State = cache.Invalid
-			e.Dirty = false
-			if wasTx {
-				panic("coherence: non-conflicting FwdGetM over a transactional line")
-			}
-		}
-		l1.send(Msg{Type: MsgOwnerData, Line: line, Dst: l1.sys.HomeBank(line), Requester: req})
-	}
 	if inL1 && l1.midEnabled() {
 		// The three-level odd design: flush the line from the L1 to the
 		// middle cache before answering — even for plain loads — paying
@@ -799,14 +860,34 @@ func (l1 *L1) respondForward(m *Msg, e *cache.Entry, inL1 bool) {
 				e.TxRead, e.TxWrite = false, false
 			}
 			if me := l1.midFlushForForward(e); me != nil {
-				respond(me)
+				l1.forwardRespond(me, line, req, getS)
 				return
 			}
-			respond(e) // flush could not place the line; respond in place
+			// Flush could not place the line; respond in place.
+			l1.forwardRespond(e, line, req, getS)
 		})
 		return
 	}
-	respond(e)
+	l1.forwardRespond(e, line, req, getS)
+}
+
+// forwardRespond downgrades (FwdGetS) or surrenders (FwdGetM) the held copy
+// and ships the owner data to the home bank. A method rather than a closure
+// inside respondForward: the two-level synchronous path runs once per
+// ownership transfer and must not allocate.
+func (l1 *L1) forwardRespond(e *cache.Entry, line mem.Line, req int, getS bool) {
+	if getS {
+		e.State = cache.Shared
+		e.Dirty = false
+	} else {
+		wasTx := e.Tx()
+		e.State = cache.Invalid
+		e.Dirty = false
+		if wasTx {
+			panic("coherence: non-conflicting FwdGetM over a transactional line")
+		}
+	}
+	l1.send(Msg{Type: MsgOwnerData, Line: line, Dst: l1.sys.HomeBank(line), Requester: req})
 }
 
 // invalidated handles Inv: either a GetM over sharers or an LLC

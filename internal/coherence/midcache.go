@@ -67,7 +67,7 @@ func (l1 *L1) upgradeThroughMid(me *cache.Entry, gdone func()) {
 	txR, txW := me.TxRead, me.TxWrite
 	me.State = cache.Invalid
 	me.TxRead, me.TxWrite = false, false
-	v := l1.l1VictimOrDemote(line, true, gdone)
+	v := l1.l1VictimOrDemote(line, true, gdone, l1.epoch)
 	if v == nil {
 		return // overflow path took over (or aborted)
 	}
@@ -75,7 +75,7 @@ func (l1 *L1) upgradeThroughMid(me *cache.Entry, gdone func()) {
 	e := l1.arr.Peek(line)
 	e.TxRead = txR
 	e.TxWrite = txW
-	l1.issue(line, true, gdone)
+	l1.issue(line, true, gdone, l1.epoch)
 }
 
 // moveToL1 transfers a middle-cache line into the L1 in its current state
@@ -87,7 +87,7 @@ func (l1 *L1) moveToL1(me *cache.Entry, write bool, gdone func()) {
 	me.State = cache.Invalid
 	me.Dirty = false
 	me.TxRead, me.TxWrite = false, false
-	v := l1.l1VictimOrDemote(line, write, gdone)
+	v := l1.l1VictimOrDemote(line, write, gdone, l1.epoch)
 	if v == nil {
 		return
 	}
@@ -103,7 +103,9 @@ func (l1 *L1) moveToL1(me *cache.Entry, write bool, gdone func()) {
 // the middle cache. Returns nil if the access was diverted to the overflow
 // machinery (every L1 way transactional AND the middle-cache set full of
 // transactional lines).
-func (l1 *L1) l1VictimOrDemote(line mem.Line, write bool, gdone func()) *cache.Entry {
+// The continuation arrives as an already-guarded closure on these cold
+// paths; ep only re-filters it if the overflow machinery defers the issue.
+func (l1 *L1) l1VictimOrDemote(line mem.Line, write bool, gdone func(), ep uint64) *cache.Entry {
 	avoidTx := func(e *cache.Entry) bool { return e.Tx() }
 	v := l1.arr.Victim(line, avoidTx)
 	if v == nil {
@@ -116,7 +118,7 @@ func (l1 *L1) l1VictimOrDemote(line mem.Line, write bool, gdone func()) *cache.E
 		if !l1.demoteToMid(v) {
 			// The middle cache is itself full of transactional data:
 			// genuine capacity overflow.
-			l1.overflow(line, write, gdone)
+			l1.overflow(line, write, gdone, ep)
 			return nil
 		}
 		return v

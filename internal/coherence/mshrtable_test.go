@@ -1,0 +1,158 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestMshrTableBasic exercises insert/lookup/remove including the
+// not-present cases on both sides of a removal.
+func TestMshrTableBasic(t *testing.T) {
+	tab := newMshrTable(mshrTableCap)
+	if tab.lookup(7) != nil {
+		t.Fatal("lookup on empty table found an entry")
+	}
+	if tab.remove(7) {
+		t.Fatal("remove on empty table reported success")
+	}
+	a, b := &mshr{line: 7}, &mshr{line: 7 + mshrTableCap}
+	tab.insert(a)
+	tab.insert(b)
+	if tab.live != 2 {
+		t.Fatalf("live = %d, want 2", tab.live)
+	}
+	if tab.lookup(7) != a || tab.lookup(7+mshrTableCap) != b {
+		t.Fatal("lookup returned the wrong entry")
+	}
+	if !tab.remove(7) || tab.lookup(7) != nil || tab.lookup(7+mshrTableCap) != b {
+		t.Fatal("remove(7) disturbed the surviving entry")
+	}
+	if tab.remove(7) {
+		t.Fatal("second remove of the same line reported success")
+	}
+	if tab.live != 1 {
+		t.Fatalf("live = %d, want 1", tab.live)
+	}
+}
+
+// TestMshrTableDifferential drives a long random insert/remove/park schedule
+// against a reference map, checking lookups, live/parked counters, and the
+// sorted drain after every step. Lines are drawn from a small range so probe
+// chains collide constantly, exercising backward-shift deletion.
+func TestMshrTableDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := newMshrTable(8) // tiny: forces growth and heavy collisions
+	ref := map[mem.Line]*mshr{}
+	for step := 0; step < 20_000; step++ {
+		l := mem.Line(rng.Intn(64))
+		switch op := rng.Intn(4); {
+		case op == 0 && ref[l] == nil:
+			ms := &mshr{line: l}
+			if rng.Intn(2) == 0 {
+				ms.state = mshrParked
+			}
+			tab.insert(ms)
+			ref[l] = ms
+		case op == 1 && ref[l] != nil:
+			if !tab.remove(l) {
+				t.Fatalf("step %d: remove(%d) failed but reference holds it", step, l)
+			}
+			delete(ref, l)
+		case op == 2 && ref[l] != nil:
+			if rng.Intn(2) == 0 {
+				tab.setParked(ref[l])
+			} else {
+				tab.setInFlight(ref[l])
+			}
+		default:
+			if got := tab.lookup(l); got != ref[l] {
+				t.Fatalf("step %d: lookup(%d) = %p, want %p", step, l, got, ref[l])
+			}
+		}
+		if tab.live != len(ref) {
+			t.Fatalf("step %d: live = %d, want %d", step, tab.live, len(ref))
+		}
+		parked := 0
+		for _, ms := range ref {
+			if ms.state == mshrParked {
+				parked++
+			}
+		}
+		if tab.parked != parked {
+			t.Fatalf("step %d: parked = %d, want %d", step, tab.parked, parked)
+		}
+	}
+	// Every reference entry must still be reachable after all the shifting.
+	for l, ms := range ref {
+		if tab.lookup(l) != ms {
+			t.Fatalf("final: lookup(%d) lost the entry", l)
+		}
+	}
+}
+
+// TestMshrTableDupInsertPanics pins the duplicate-insert invariant: the old
+// map would have silently leaked the shadowed MSHR.
+func TestMshrTableDupInsertPanics(t *testing.T) {
+	tab := newMshrTable(mshrTableCap)
+	tab.insert(&mshr{line: 3})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	tab.insert(&mshr{line: 3})
+}
+
+// TestMshrTableSteadyStateNoAlloc pins the point of the table: once at its
+// high-water capacity, the insert/lookup/remove cycle allocates nothing
+// (map inserts allocate buckets under churn).
+func TestMshrTableSteadyStateNoAlloc(t *testing.T) {
+	tab := newMshrTable(mshrTableCap)
+	entries := make([]*mshr, 16)
+	for i := range entries {
+		entries[i] = &mshr{line: mem.Line(i * 37)}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ms := range entries {
+			tab.insert(ms)
+		}
+		for _, ms := range entries {
+			if tab.lookup(ms.line) != ms {
+				t.Fatal("lookup miss")
+			}
+		}
+		for _, ms := range entries {
+			tab.remove(ms.line)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state table churn allocates %.0f per cycle, want 0", allocs)
+	}
+}
+
+// TestMshrWaitersBackingReused pins the waiter-array pooling: an MSHR
+// recycled through the free list keeps its waiters backing array, so
+// re-parking waiters on it does not allocate once capacity has grown.
+func TestMshrWaitersBackingReused(t *testing.T) {
+	_, sys, _ := tsys(t, baseCfg())
+	l1 := sys.L1s[0]
+	w := func() {}
+	// Warm one pooled MSHR up to 8 waiter slots.
+	ms := l1.newMshr()
+	for i := 0; i < 8; i++ {
+		ms.waiters = append(ms.waiters, w)
+	}
+	l1.freeMshr(ms)
+	allocs := testing.AllocsPerRun(100, func() {
+		m := l1.newMshr()
+		for i := 0; i < 8; i++ {
+			m.waiters = append(m.waiters, w)
+		}
+		l1.freeMshr(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("recycled MSHR waiter append allocates %.0f per cycle, want 0", allocs)
+	}
+}

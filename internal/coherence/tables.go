@@ -187,6 +187,18 @@ type bankMsgCtx struct {
 	b      *Bank
 	m      *Msg
 	queued bool
+	// d memoizes the dispatch-time directory lookup (nil when the line is
+	// untracked); actions reuse it instead of probing the table again.
+	d *dirLine
+}
+
+// line returns the message's directory entry, materializing one if the
+// dispatch-time lookup came up empty.
+func (c bankMsgCtx) line() *dirLine {
+	if c.d != nil {
+		return c.d
+	}
+	return c.b.line(c.m.Line)
 }
 
 // Stable-state service events.
@@ -431,12 +443,12 @@ func buildBankRecvTable() {
 			c.b.Requests++
 		}
 	})
-	service := act("service", func(c bankMsgCtx) { c.b.service(c.b.line(c.m.Line), c.m) })
+	service := act("service", func(c bankMsgCtx) { c.b.service(c.line(), c.m) })
 	enqueue := act("enqueue", func(c bankMsgCtx) {
-		d := c.b.line(c.m.Line)
+		d := c.line()
 		d.queue = append(d.queue, c.m) // ownership moves to the queue
 	})
-	put := act("handle-put", func(c bankMsgCtx) { c.b.handlePut(c.b.line(c.m.Line), c.m) })
+	put := act("handle-put", func(c bankMsgCtx) { c.b.handlePut(c.line(), c.m) })
 	// Pre-transactional writeback: refresh the LLC copy immediately, even
 	// while busy — it is response-class traffic and the owner is unchanged.
 	txWB := act("refresh-llc", func(c bankMsgCtx) { c.b.fillLLC(c.m.Line, nil) })
@@ -444,7 +456,7 @@ func buildBankRecvTable() {
 	// at wraps a pending-request action with the busy line's tracker (the
 	// busy states guarantee the directory entry exists).
 	at := func(name string, do func(b *Bank, d *dirLine, m *Msg)) proto.Action[bankMsgCtx] {
-		return act(name, func(c bankMsgCtx) { do(c.b, c.b.dir[c.m.Line], c.m) })
+		return act(name, func(c bankMsgCtx) { do(c.b, c.d, c.m) })
 	}
 
 	bankRecvTable = proto.New("bank.receive", bankStates, msgEvents,

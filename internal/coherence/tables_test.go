@@ -92,7 +92,7 @@ func TestSortedMshrsNoAlloc(t *testing.T) {
 	// Descending insertion order is the insertion sort's worst case.
 	lines := []mem.Line{800, 700, 600, 500, 400, 300, 200, 100}
 	for _, l := range lines {
-		l1.mshrs[l] = &mshr{line: l}
+		l1.mshrs.insert(&mshr{line: l})
 	}
 	allocs := testing.AllocsPerRun(100, func() {
 		s := l1.sortedMshrs()

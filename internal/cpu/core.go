@@ -129,6 +129,12 @@ func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
 	if tok != c.token {
 		return
 	}
+	if !c.m.Cfg.DisableFusion {
+		var wait bool
+		if i, wait = c.fuseOps(ops, i, tok, done); wait {
+			return
+		}
+	}
 	if i >= len(ops) {
 		done()
 		return
@@ -179,6 +185,66 @@ func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
 	default:
 		panic(fmt.Sprintf("cpu: unknown op kind %d", op.Kind))
 	}
+}
+
+// fuseOps is the event-fusion fast path (DESIGN.md §10): it executes the
+// longest prefix of ops[i:] consisting of compute delays and guaranteed L1
+// hits inline, lazily advancing simulated time to each op's completion,
+// and returns the index of the first op it could not fuse. The caller
+// continues from there on the ordinary event-driven path. When wait is
+// true the caller must return instead: an op's completion was handed to the
+// event queue (see below) and the continuation resumes through c.resume.
+//
+// Fusing an op is exact only if its completion time t is strictly earlier
+// than every pending event: an event already queued at t carries a lower
+// sequence number than anything the slow path would schedule now, so it
+// would run first and could observe or change state mid-chain. The loop
+// therefore re-checks Engine.PeekNext before each op — and again after
+// TryFastHit, because a transactional store hit can itself emit protocol
+// traffic (the eager pre-transactional writeback) that lands inside the
+// hit-latency window. In that second case the hit's architectural effects
+// are already applied, so the op cannot be un-fused; it completes through
+// FinishFastHit, which schedules the same typed completion event the slow
+// path would have, preserving the exact (when, seq) order.
+func (c *Core) fuseOps(ops []Op, i int, tok uint64, done func()) (next int, wait bool) {
+	eng := c.engine()
+	l1 := c.m.Sys.L1s[c.id]
+	hitLat := c.m.Sys.L1Hit
+	for i < len(ops) {
+		op := ops[i]
+		var t uint64 // inline completion time of op
+		switch op.Kind {
+		case OpCompute:
+			t = eng.Now() + op.N
+		case OpRead, OpWrite:
+			t = eng.Now() + hitLat
+		default:
+			return i, false // RMW / fault: full machinery required
+		}
+		if next, ok := eng.PeekNext(); ok && next <= t {
+			return i, false // an event would interleave: fall back
+		}
+		if op.Kind == OpCompute {
+			c.tx().InstsRetired += op.N
+			eng.AdvanceTo(t)
+			i++
+			continue
+		}
+		if !l1.TryFastHit(op.Line, op.Kind == OpWrite) {
+			return i, false // miss, upgrade, or queued-behind-MSHR
+		}
+		if next, ok := eng.PeekNext(); ok && next <= t {
+			// The hit emitted traffic inside its own latency window; its
+			// effects are applied, so complete it through the event path.
+			c.resume.ops, c.resume.i, c.resume.tok, c.resume.done = ops, i+1, tok, done
+			l1.FinishFastHit(c.contFn)
+			return i, true
+		}
+		eng.AdvanceTo(t)
+		c.tx().InstsRetired++
+		i++
+	}
+	return i, false
 }
 
 // accessOp performs op i's load or store and steps to the next op when the
@@ -311,19 +377,21 @@ func (c *Core) sectionDone() {
 	c.advance()
 }
 
-// applyStaged commits this section's functional counter updates.
+// applyStaged commits this section's functional counter updates. The map is
+// cleared in place, not dropped: RMW-heavy sections would otherwise rebuild
+// its buckets every attempt.
 func (c *Core) applyStaged() {
 	for l, v := range c.staged {
 		c.m.counters[l] = v
 	}
-	c.staged = nil
+	clear(c.staged)
 }
 
 // OnDoom implements coherence.Client: the L1 has flash-cleared the
 // transaction; schedule the architectural rollback and the retry.
 func (c *Core) OnDoom(cause htm.AbortCause) {
 	c.token++
-	c.staged = nil // discard speculative functional updates
+	clear(c.staged) // discard speculative functional updates, keep the buckets
 	c.st.Abort(cause)
 	if t := c.m.Cfg.Telemetry; t != nil {
 		t.TxAbort(c.id, c.secIdx, c.tx().Attempt, c.tx().AttemptStart, cause)

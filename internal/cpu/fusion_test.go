@@ -1,0 +1,70 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestRandomizedFusionEquivalence is the differential check behind the
+// event-fusion fast path (DESIGN.md §10): arbitrary programs under
+// arbitrary system configurations must produce bit-for-bit identical
+// simulations with fusion on and off. The generator reuses the randomized
+// end-to-end stress machinery, so the comparison covers RMWs, faults,
+// barriers, overflow bursts, mid-cache organizations, and every reject
+// policy — including all the paths where fuseOps must bail out to the full
+// event machinery.
+func TestRandomizedFusionEquivalence(t *testing.T) {
+	counters := []mem.Line{1 << 23, 1<<23 + 1, 1<<23 + 2}
+	for trial := uint64(1); trial <= 20; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := sim.NewRNG(trial * 104729)
+			threads := 2 + rng.Intn(3)
+			progs, expect := randomProgram(rng, threads, counters)
+			sync, hc := randomConfig(rng)
+
+			p := smallParams()
+			if rng.Bool(0.3) {
+				p.MidSize, p.MidWays = 4*1024, 8
+			}
+			if rng.Bool(0.3) {
+				p.L1Size = 8 * 1024
+			}
+			run := func(disableFusion bool) *Machine {
+				cfg := Config{Machine: p, HTM: hc, Sync: sync, Threads: threads,
+					Seed: trial, DisableFusion: disableFusion}
+				m := NewMachine(cfg, "rand", "fusion-diff", progs)
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("disableFusion=%v: %v", disableFusion, err)
+				}
+				return m
+			}
+			on := run(false)
+			off := run(true)
+
+			if a, b := on.Stats.ExecCycles, off.Stats.ExecCycles; a != b {
+				t.Fatalf("ExecCycles diverge: fused %d vs unfused %d", a, b)
+			}
+			if a, b := on.Stats.Sections(), off.Stats.Sections(); a != b {
+				t.Fatalf("sections diverge: fused %d vs unfused %d", a, b)
+			}
+			for c, want := range expect {
+				av, bv := on.CounterValue(c), off.CounterValue(c)
+				if av != bv || av != want {
+					t.Fatalf("counter %d: fused %d, unfused %d, want %d", c, av, bv, want)
+				}
+			}
+			for i := range on.Stats.Cores {
+				a, b := on.Stats.Cores[i], off.Stats.Cores[i]
+				if a.Commits != b.Commits || a.Attempts != b.Attempts {
+					t.Fatalf("core %d diverges: fused commits=%d attempts=%d, unfused commits=%d attempts=%d",
+						i, a.Commits, a.Attempts, b.Commits, b.Attempts)
+				}
+			}
+		})
+	}
+}

@@ -72,6 +72,12 @@ type Config struct {
 	SpinInterval uint64
 	// Limit bounds the simulation length in cycles (0 = unlimited).
 	Limit uint64
+	// DisableFusion turns off the event-fusion fast path (DESIGN.md §10),
+	// forcing every compute delay and L1 hit through the event queue. The
+	// simulated behavior is bit-for-bit identical either way (pinned by the
+	// fusion equivalence tests); the knob exists for differential testing
+	// and as a diagnostic escape hatch.
+	DisableFusion bool
 	// Tracer, when non-nil, records simulation events (internal/trace).
 	Tracer *trace.Tracer
 	// Telemetry, when non-nil, attaches the observability layer: sampled

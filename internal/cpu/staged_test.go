@@ -1,0 +1,47 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestStagedMapBackingReused pins the allocation-residue cleanup on the
+// speculative-counter map: applyStaged and abort clear the map in place, so
+// a section that retries (or a thread running many RMW sections) reuses the
+// same buckets instead of rebuilding the map every attempt.
+func TestStagedMapBackingReused(t *testing.T) {
+	cfg := Config{Machine: smallParams(), Threads: 1, Seed: 1}
+	m := NewMachine(cfg, "test", "staged-reuse", []Program{nil})
+	c := m.Cores[0]
+
+	lines := []mem.Line{1 << 21, 1<<21 + 1, 1<<21 + 2, 1<<21 + 3}
+	c.staged = make(map[memLine]uint64, len(lines))
+	stageAndCommit := func() {
+		for i, l := range lines {
+			c.staged[l] = uint64(i + 1)
+		}
+		c.applyStaged()
+	}
+	stageAndCommit() // warm the counters map too
+
+	if allocs := testing.AllocsPerRun(100, stageAndCommit); allocs != 0 {
+		t.Fatalf("staged commit cycle allocates %v times per run, want 0", allocs)
+	}
+	if len(c.staged) != 0 {
+		t.Fatalf("staged map not cleared: %d entries left", len(c.staged))
+	}
+
+	// The abort path must also keep the buckets.
+	for i, l := range lines {
+		c.staged[l] = uint64(i + 1)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		clear(c.staged)
+		for i, l := range lines {
+			c.staged[l] = uint64(i + 1)
+		}
+	}); allocs != 0 {
+		t.Fatalf("staged abort cycle allocates %v times per run, want 0", allocs)
+	}
+}

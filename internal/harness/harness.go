@@ -102,10 +102,18 @@ type Spec struct {
 	Threads  int
 	Cache    CacheConfig
 	Seed     uint64
+	// DisableFusion runs with the event-fusion fast path off (DESIGN.md
+	// §10). Results are bit-for-bit identical either way — the knob exists
+	// for the fusion equivalence tests and as a diagnostic escape hatch.
+	DisableFusion bool
 }
 
 func (s Spec) key() string {
-	return fmt.Sprintf("%s|%s|%d|%s|%d", s.System.Name, s.Workload.Name, s.Threads, s.Cache.Name, s.Seed)
+	k := fmt.Sprintf("%s|%s|%d|%s|%d", s.System.Name, s.Workload.Name, s.Threads, s.Cache.Name, s.Seed)
+	if s.DisableFusion {
+		k += "|nofuse"
+	}
+	return k
 }
 
 // Execute runs one simulation to completion.
@@ -124,14 +132,15 @@ func ExecuteInstrumented(s Spec, tracer *trace.Tracer, tel *telemetry.Telemetry)
 	p.L1Size = s.Cache.L1Size
 	p.LLCSize = s.Cache.LLCSize
 	cfg := cpu.Config{
-		Machine:   p,
-		HTM:       s.System.HTM,
-		Sync:      s.System.Sync,
-		Threads:   s.Threads,
-		Seed:      s.Seed,
-		Limit:     4_000_000_000,
-		Tracer:    tracer,
-		Telemetry: tel,
+		Machine:       p,
+		HTM:           s.System.HTM,
+		Sync:          s.System.Sync,
+		Threads:       s.Threads,
+		Seed:          s.Seed,
+		Limit:         4_000_000_000,
+		Tracer:        tracer,
+		Telemetry:     tel,
+		DisableFusion: s.DisableFusion,
 	}
 	if tel != nil {
 		tel.Meta = telemetry.Meta{

@@ -44,8 +44,19 @@ type Network struct {
 	mesh   topology.Mesh
 	cfg    Config
 
-	// busyUntil[l] is the cycle at which directed link l becomes free.
-	busyUntil map[topology.Link]uint64
+	// busyUntil[from*tiles+to] is the cycle at which the directed link
+	// from→to becomes free. A flat slice rather than a map keyed by
+	// topology.Link: the lookup runs once per link per message on the
+	// hottest path in the simulator, and hashing a 16-byte struct key
+	// dominated whole-run profiles. tiles² entries is at most 8 KiB for
+	// the paper's 32-tile mesh; non-adjacent pairs simply stay zero.
+	busyUntil []uint64
+	tiles     int
+
+	// routes[src*tiles+dst] lists the flat busyUntil indices of the links
+	// along the X-Y route, precomputed so the arrival loop walks a dense
+	// int32 slice instead of re-deriving link identities per message.
+	routes [][]int32
 
 	// Tracer, when non-nil, records CatNoC events: link enqueue,
 	// serialization stalls, and scheduled delivery.
@@ -59,11 +70,31 @@ type Network struct {
 
 // New creates a network over the given mesh.
 func New(engine *sim.Engine, mesh topology.Mesh, cfg Config) *Network {
+	t := mesh.Tiles()
+	routes := make([][]int32, t*t)
+	total := 0
+	for src := 0; src < t; src++ {
+		for dst := 0; dst < t; dst++ {
+			total += mesh.Hops(src, dst)
+		}
+	}
+	backing := make([]int32, 0, total) // one allocation backs every route
+	for src := 0; src < t; src++ {
+		for dst := 0; dst < t; dst++ {
+			start := len(backing)
+			for _, l := range mesh.Route(src, dst) {
+				backing = append(backing, int32(l.From*t+l.To))
+			}
+			routes[src*t+dst] = backing[start:len(backing):len(backing)]
+		}
+	}
 	return &Network{
 		engine:    engine,
 		mesh:      mesh,
 		cfg:       cfg,
-		busyUntil: make(map[topology.Link]uint64),
+		busyUntil: make([]uint64, t*t),
+		tiles:     t,
+		routes:    routes,
 	}
 }
 
@@ -92,7 +123,7 @@ func (n *Network) arrival(src, dst, flits int) uint64 {
 	if src == dst {
 		return now + maxU64(n.cfg.LocalLatency, 1)
 	}
-	route := n.mesh.Route(src, dst)
+	route := n.routes[src*n.tiles+dst]
 	n.FlitHops += uint64(flits * len(route))
 	if n.cfg.Perfect {
 		lat := uint64(len(route)) * (n.cfg.LinkLatency + n.cfg.RouterDelay)
@@ -105,12 +136,12 @@ func (n *Network) arrival(src, dst, flits int) uint64 {
 	// is then occupied for the serialization time of the whole message.
 	t := now
 	var stalled uint64
-	for _, l := range route {
-		start := maxU64(t, n.busyUntil[l])
+	for _, li := range route {
+		start := maxU64(t, n.busyUntil[li])
 		n.QueueWait += start - t
 		stalled += start - t
 		t = start + n.cfg.LinkLatency + n.cfg.RouterDelay
-		n.busyUntil[l] = start + uint64(flits)
+		n.busyUntil[li] = start + uint64(flits)
 	}
 	// Tail flit arrives (flits-1) cycles after the head.
 	t += uint64(flits - 1)

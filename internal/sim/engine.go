@@ -85,7 +85,13 @@ type Engine struct {
 
 	ring      [ringSize]bucket
 	ringCount int
-	heap      []event // 4-ary min-heap ordered by (when, seq)
+	// ringMin is a lower bound on the cycle of the earliest ring event,
+	// meaningful only while ringCount > 0. Scheduling tightens it eagerly;
+	// popping leaves it stale-low and peekRing repairs it lazily by scanning
+	// forward, so the ring head is found in amortized O(1) instead of an
+	// O(ringSize) scan per query.
+	ringMin uint64
+	heap    []event // 4-ary min-heap ordered by (when, seq)
 
 	// Watchdog state: the engine aborts a Run if no progress callback fires
 	// within Watchdog cycles. Components that make forward progress (e.g. a
@@ -120,6 +126,9 @@ func (e *Engine) schedule(t uint64, ev event) {
 	if t-e.now < ringSize {
 		b := &e.ring[t&ringMask]
 		b.ev = append(b.ev, ev)
+		if e.ringCount == 0 || t < e.ringMin {
+			e.ringMin = t
+		}
 		e.ringCount++
 		return
 	}
@@ -148,60 +157,85 @@ func (e *Engine) AfterEvent(d uint64, h Handler, kind uint8, a uint64, p any) {
 // progress (e.g. a transaction committed or a section finished).
 func (e *Engine) Progress() { e.lastProgress = e.now }
 
-// nextWhen returns the cycle of the earliest pending event.
-func (e *Engine) nextWhen() (uint64, bool) {
-	if e.ringCount > 0 {
-		for i := uint64(0); i < ringSize; i++ {
-			t := e.now + i
-			if len(e.heap) > 0 && e.heap[0].when <= t {
-				return e.heap[0].when, true
-			}
-			if b := &e.ring[t&ringMask]; b.head < len(b.ev) {
-				return t, true
-			}
-		}
-		panic("sim: ring accounting corrupted")
+// peekRing returns the cycle of the earliest ring event. It starts from the
+// cached ringMin lower bound and scans forward over at most the buckets the
+// last pop emptied, tightening the bound as a side effect — amortized O(1)
+// across a run because ringMin only moves forward between insertions.
+func (e *Engine) peekRing() (uint64, bool) {
+	if e.ringCount == 0 {
+		return 0, false
 	}
-	if len(e.heap) > 0 {
+	t := e.ringMin
+	if t < e.now {
+		// The bound predates a lazy time advance; every pending event is at
+		// or after now, so the scan can start there. (Starting below now
+		// would misread a bucket refilled for cycle t+ringSize.)
+		t = e.now
+	}
+	for end := e.now + ringSize; t < end; t++ {
+		if b := &e.ring[t&ringMask]; b.head < len(b.ev) {
+			e.ringMin = t
+			return t, true
+		}
+	}
+	panic("sim: ring accounting corrupted")
+}
+
+// PeekNext returns the cycle of the earliest pending event without removing
+// it: the min of the calendar-ring head and the heap root. It is cheap by
+// design — the event-fusion fast path (internal/cpu) calls it once per
+// inlined operation to prove no event could interleave.
+func (e *Engine) PeekNext() (when uint64, ok bool) {
+	rt, rok := e.peekRing()
+	if len(e.heap) > 0 && (!rok || e.heap[0].when <= rt) {
 		return e.heap[0].when, true
 	}
-	return 0, false
+	return rt, rok
+}
+
+// AdvanceTo lazily advances simulated time to cycle t without executing an
+// event — the engine half of the event-fusion fast path. The caller must
+// have established via PeekNext that every pending event fires strictly
+// after t; the engine re-checks and panics otherwise, because silently
+// passing a pending event would reorder the simulation. (Advancing to
+// exactly the next event's cycle is also rejected: an already-queued event
+// carries an earlier sequence number than anything the caller would go on
+// to do at t, so it must run first.)
+func (e *Engine) AdvanceTo(t uint64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) behind now %d", t, e.now))
+	}
+	if next, ok := e.PeekNext(); ok && next <= t {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) would pass the pending event at %d", t, next))
+	}
+	e.now = t
 }
 
 // pop removes and returns the globally earliest event in (when, seq) order.
 //
-// Ring buckets are scanned forward from now; every event in a reachable
-// bucket provably has when equal to the scan cycle (see the package
-// comment), so bucket FIFO order is (when, seq) order. The heap wins ties
-// at equal when because all of its same-cycle events were scheduled — and
-// therefore sequenced — before any ring event of that cycle.
+// Every event in a reachable ring bucket provably has when equal to the
+// bucket's scan cycle (see the package comment), so bucket FIFO order is
+// (when, seq) order. The heap wins ties at equal when because all of its
+// same-cycle events were scheduled — and therefore sequenced — before any
+// ring event of that cycle.
 func (e *Engine) pop() (event, bool) {
-	if e.ringCount > 0 {
-		for i := uint64(0); i < ringSize; i++ {
-			t := e.now + i
-			if len(e.heap) > 0 && e.heap[0].when <= t {
-				return e.heapPop(), true
-			}
-			b := &e.ring[t&ringMask]
-			if b.head >= len(b.ev) {
-				continue
-			}
-			ev := b.ev[b.head]
-			b.ev[b.head] = event{} // drop references so the GC can reclaim payloads
-			b.head++
-			if b.head == len(b.ev) {
-				b.ev = b.ev[:0]
-				b.head = 0
-			}
-			e.ringCount--
-			return ev, true
-		}
-		panic("sim: ring accounting corrupted")
-	}
-	if len(e.heap) > 0 {
+	rt, rok := e.peekRing()
+	if len(e.heap) > 0 && (!rok || e.heap[0].when <= rt) {
 		return e.heapPop(), true
 	}
-	return event{}, false
+	if !rok {
+		return event{}, false
+	}
+	b := &e.ring[rt&ringMask]
+	ev := b.ev[b.head]
+	b.ev[b.head] = event{} // drop references so the GC can reclaim payloads
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+	}
+	e.ringCount--
+	return ev, true
 }
 
 // Step executes the next pending event, advancing time. It reports whether
@@ -227,7 +261,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(limit uint64) error {
 	e.lastProgress = e.now
 	for {
-		t, ok := e.nextWhen()
+		t, ok := e.PeekNext()
 		if !ok {
 			return nil
 		}

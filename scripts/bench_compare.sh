@@ -1,0 +1,89 @@
+#!/bin/sh
+# bench_compare.sh — guard against benchmark regressions.
+#
+# Runs a fresh benchmark sweep (or takes a pre-built results file) and
+# compares it against the newest committed BENCH_*.json. A benchmark
+# regresses when its ns/op or allocs/op exceeds the baseline by more than
+# the budget (default 15%); a benchmark whose baseline is 0 allocs/op must
+# stay at 0. New benchmarks absent from the baseline are reported but never
+# fail the run. Exit status is 1 on any regression.
+#
+# Usage: scripts/bench_compare.sh [fresh.json] [budget-pct]
+set -eu
+cd "$(dirname "$0")/.."
+
+BUDGET="${2:-15}"
+
+BASE=""
+for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    BASE="$f"
+done
+if [ -z "$BASE" ]; then
+    echo "bench_compare: no committed BENCH_*.json baseline found" >&2
+    exit 2
+fi
+
+if [ $# -ge 1 ] && [ -n "$1" ]; then
+    FRESH="$1"
+    CLEAN=""
+else
+    FRESH="$(mktemp)"
+    CLEAN="$FRESH"
+    sh scripts/bench.sh "$FRESH" >/dev/null
+fi
+trap '[ -n "$CLEAN" ] && rm -f "$CLEAN"' EXIT INT TERM
+
+echo "comparing $FRESH against baseline $BASE (budget ±${BUDGET}%)"
+
+# The JSON is machine-written by bench.sh with one benchmark object per
+# line, so a line-oriented awk parse is reliable here.
+awk -v budget="$BUDGET" '
+function field(line, key,    re, s) {
+    re = "\"" key "\": *[-0-9.]+"
+    if (match(line, re) == 0) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/^.*: */, "", s)
+    return s
+}
+FNR == 1 { fileno++ }
+/"name":/ {
+    name = $0
+    sub(/^.*"name": *"/, "", name)
+    sub(/".*$/, "", name)
+    ns = field($0, "ns_per_op")
+    allocs = field($0, "allocs_per_op")
+    if (fileno == 1) {
+        base_ns[name] = ns
+        base_allocs[name] = allocs
+    } else {
+        order[++n] = name
+        new_ns[name] = ns
+        new_allocs[name] = allocs
+    }
+}
+END {
+    fmt = "%-28s %14s %14s %9s  %s\n"
+    printf fmt, "benchmark", "base ns/op", "new ns/op", "delta", "status"
+    fail = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!(name in base_ns)) {
+            printf fmt, name, "-", new_ns[name], "-", "new (no baseline)"
+            continue
+        }
+        d = 100 * (new_ns[name] - base_ns[name]) / base_ns[name]
+        status = "ok"
+        if (d > budget) { status = "REGRESSION (ns/op)"; fail = 1 }
+        if (base_allocs[name] + 0 == 0 && new_allocs[name] + 0 > 0) {
+            status = "REGRESSION (allocs: 0 -> " new_allocs[name] ")"
+            fail = 1
+        } else if (base_allocs[name] + 0 > 0 && \
+                   100 * (new_allocs[name] - base_allocs[name]) / base_allocs[name] > budget) {
+            status = "REGRESSION (allocs/op)"
+            fail = 1
+        }
+        printf fmt, name, base_ns[name], new_ns[name], sprintf("%+.1f%%", d), status
+    }
+    exit fail
+}' "$BASE" "$FRESH"
