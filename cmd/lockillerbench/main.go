@@ -35,6 +35,7 @@ func main() {
 	cacheFile := flag.String("results", "", "persist simulation results to this JSON file (loaded first, saved after)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = LOCKILLER_WORKERS env, then one per CPU); this is the outer, spec-level budget — divide CPUs between it and any inner -par tile parallelism")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -66,6 +67,7 @@ func main() {
 	}
 
 	r := harness.NewRunner(*seed)
+	r.Workers = harness.DefaultWorkers(*workers)
 	if *cacheFile != "" {
 		if f, err := os.Open(*cacheFile); err == nil {
 			if err := r.Load(f); err != nil {

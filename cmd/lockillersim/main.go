@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
@@ -42,6 +43,7 @@ func main() {
 	chromePath := flag.String("chrometrace", "", "write a Chrome-trace-event (Perfetto) JSON trace to this path")
 	hotLines := flag.Int("hot-lines", 16, "number of hottest conflict lines to report")
 	fuse := flag.String("fuse", "on", "event-fusion fast path: on or off (results are identical; off is a diagnostic mode)")
+	par := flag.String("par", "off", "sharded tile-parallel engine: worker count N, or 'off' for the sequential oracle (results are bit-for-bit identical either way)")
 	flag.Parse()
 
 	var disableFusion bool
@@ -51,6 +53,14 @@ func main() {
 		disableFusion = true
 	default:
 		fatal(fmt.Errorf("unknown -fuse value %q (want on or off)", *fuse))
+	}
+	var parN int
+	if *par != "off" {
+		n, err := strconv.Atoi(*par)
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -par value %q (want a worker count or 'off')", *par))
+		}
+		parN = n
 	}
 
 	if *list {
@@ -98,7 +108,7 @@ func main() {
 		tracer = trace.New(*traceN, cats)
 	}
 	spec := harness.Spec{System: sys, Workload: wl, Threads: *threads, Cache: cache, Seed: *seed,
-		DisableFusion: disableFusion}
+		DisableFusion: disableFusion, Par: parN}
 	if *exportPath != "" {
 		f, err := os.Create(*exportPath)
 		if err != nil {
@@ -133,8 +143,12 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("system    : %s\nworkload  : %s\nthreads   : %d\ncache     : %s\n",
-		sys.Name, wl.Name, *threads, cache.Name)
+	engineDesc := "sequential"
+	if parN > 0 {
+		engineDesc = fmt.Sprintf("sharded par=%d", parN)
+	}
+	fmt.Printf("system    : %s\nworkload  : %s\nthreads   : %d\ncache     : %s\nengine    : %s\n",
+		sys.Name, wl.Name, *threads, cache.Name, engineDesc)
 	fmt.Printf("cycles    : %d\nsections  : %d\ncommitrate: %.4f\n",
 		run.ExecCycles, run.Sections(), run.CommitRate())
 	total, by := run.TotalAborts()
@@ -222,7 +236,7 @@ func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry
 	cfg := cpu.Config{
 		Machine: p, HTM: spec.System.HTM, Sync: spec.System.Sync,
 		Threads: len(progs), Seed: spec.Seed, Limit: 4_000_000_000, Tracer: tracer,
-		Telemetry: tel, DisableFusion: spec.DisableFusion,
+		Telemetry: tel, DisableFusion: spec.DisableFusion, Par: spec.Par,
 	}
 	if tel != nil {
 		tel.Meta = telemetry.Meta{

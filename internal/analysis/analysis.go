@@ -87,6 +87,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	//lockiller:fusepath-ok — fusepath: a deliberate new evL1Done scheduling
 //	                        site; say why, and update the fusion equivalence
 //	                        reasoning in DESIGN.md §10
+//	//lockiller:par-ok    — nowallclock: goroutine/channel use inside the PDES
+//	                        coordinator (package sim, par*.go only); say which
+//	                        handoff the line implements. Honored nowhere else —
+//	                        the concurrency ban stays absolute in every other
+//	                        deterministic file (see InParCoordinatorFile)
 const (
 	DirectiveOrdered     = "lockiller:ordered"
 	DirectiveAllocOK     = "lockiller:alloc-ok"
@@ -94,6 +99,7 @@ const (
 	DirectiveRawDispatch = "lockiller:rawdispatch"
 	DirectiveTraceOK     = "lockiller:trace-ok"
 	DirectiveFusePathOK  = "lockiller:fusepath-ok"
+	DirectiveParOK       = "lockiller:par-ok"
 )
 
 // Waived reports whether node n is waived by the given directive: a comment
@@ -209,6 +215,24 @@ var hotPkgs = map[string]bool{
 // IsDeterministicPkg reports whether pkg must be deterministic.
 func IsDeterministicPkg(pkg *types.Package) bool {
 	return deterministicPkgs[pkg.Name()] || deterministicPkgs[pathTail(pkg.Path())]
+}
+
+// InParCoordinatorFile reports whether n sits in a file where the
+// //lockiller:par-ok waiver is honored: the sharded-engine coordinator,
+// i.e. package sim in a file whose basename starts with "par". Everywhere
+// else the nowallclock concurrency ban is absolute — channel handoffs are
+// how the PDES runtime moves its execution token (with happens-before edges
+// the race detector can certify), and that reasoning only holds inside the
+// coordinator.
+func (p *Pass) InParCoordinatorFile(n ast.Node) bool {
+	if p.Pkg.Name() != "sim" {
+		return false
+	}
+	name := p.Fset.Position(n.Pos()).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.HasPrefix(name, "par")
 }
 
 // IsHotPkg reports whether pkg is on the scheduling hot path.

@@ -1,0 +1,50 @@
+// Package sim fixture for the scoped //lockiller:par-ok waiver: this file's
+// basename starts with "par", so it stands in for the PDES coordinator where
+// waived concurrency is the execution-token handoff protocol. Waived lines
+// must stay silent, unwaived concurrency must still be flagged, and the
+// waiver must never excuse wall-clock reads.
+package sim
+
+import "time"
+
+// tokenHandoff models the coordinator's span grant/return: every channel
+// operation carries an explicit waiver and is accepted.
+func tokenHandoff(grantCh chan int, doneCh chan struct{}) {
+	go worker(grantCh, doneCh) //lockiller:par-ok one worker per tile group
+	grantCh <- 1               //lockiller:par-ok span handoff
+	<-doneCh                   //lockiller:par-ok token returns to the coordinator
+	//lockiller:par-ok run ended; workers exit
+	close(grantCh)
+}
+
+// selectWaived covers the select form of the handoff.
+func selectWaived(a, b chan int) int {
+	select { //lockiller:par-ok coordinator multiplexes worker completions
+	case v := <-a: //lockiller:par-ok worker A result
+		return v
+	case v := <-b: //lockiller:par-ok worker B result
+		return v
+	}
+}
+
+func worker(grantCh chan int, doneCh chan struct{}) {
+	for range grantCh {
+		doneCh <- struct{}{} //lockiller:par-ok token returns to the coordinator
+	}
+}
+
+// unwaived concurrency is still a violation, even in a par file: the waiver
+// is per-line, not per-file.
+func unwaived(ch chan int) {
+	go func() {}() // want `goroutine in deterministic package "sim"`
+	ch <- 1        // want `channel send in deterministic package "sim"`
+	<-ch           // want `channel receive in deterministic package "sim"`
+	close(ch)      // want `channel close in deterministic package "sim"`
+}
+
+// wallClockNotWaivable: par-ok only scopes the concurrency checks; the
+// determinism ban on host time stands even in the coordinator.
+func wallClockNotWaivable() int64 {
+	t := time.Now() //lockiller:par-ok not honored for wall-clock // want `time\.Now in deterministic package "sim"`
+	return t.UnixNano()
+}

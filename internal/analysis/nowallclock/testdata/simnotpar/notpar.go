@@ -1,0 +1,11 @@
+// Package sim fixture for the waiver's file scoping: right package, but the
+// basename does not start with "par", so //lockiller:par-ok is ignored and
+// every concurrency construct is flagged as usual.
+package sim
+
+func ignoredWaiver(ch chan int) {
+	go func() {}() //lockiller:par-ok ignored outside par files // want `goroutine in deterministic package "sim"`
+	ch <- 1        //lockiller:par-ok ignored outside par files // want `channel send in deterministic package "sim"`
+	<-ch           //lockiller:par-ok ignored outside par files // want `channel receive in deterministic package "sim"`
+	close(ch)      //lockiller:par-ok ignored outside par files // want `channel close in deterministic package "sim"`
+}

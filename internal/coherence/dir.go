@@ -130,6 +130,10 @@ const (
 	evBankAllocate              // a = line, p = cont func(): memory fetch matured
 )
 
+// SimTile implements sim.TileOwner: every bank event belongs to the bank's
+// own tile.
+func (b *Bank) SimTile() int { return b.id }
+
 // OnEvent implements sim.Handler for deferred message re-dispatch and
 // matured memory fetches.
 func (b *Bank) OnEvent(kind uint8, a uint64, p any) {

@@ -108,6 +108,10 @@ func (l1 *L1) SetClient(c Client) { l1.client = c }
 // Core returns the core/tile id.
 func (l1 *L1) Core() int { return l1.core }
 
+// SimTile implements sim.TileOwner: every L1 event belongs to the L1's own
+// tile.
+func (l1 *L1) SimTile() int { return l1.core }
+
 // Array exposes the data array to tests and stats.
 func (l1 *L1) Array() *cache.Array { return l1.arr }
 

@@ -131,6 +131,18 @@ const (
 	evSend                 // p = *Msg: a delayed send matured; route it now
 )
 
+// EventTile implements sim.EventOwner for the sharded engine: a delivery
+// belongs to the tile consuming the message, a delayed send to the tile
+// injecting it. Both are routing facts of the message itself, so ownership
+// is independent of which tile's event scheduled it.
+func (s *System) EventTile(kind uint8, _ uint64, p any) int {
+	m := p.(*Msg)
+	if kind == evSend {
+		return m.Src
+	}
+	return m.Dst
+}
+
 // OnEvent implements sim.Handler for NoC deliveries and delayed sends.
 func (s *System) OnEvent(kind uint8, _ uint64, p any) {
 	switch kind {

@@ -50,6 +50,10 @@ const (
 	evRestart              // restart the current section's attempt
 )
 
+// SimTile implements sim.TileOwner: every core event belongs to the core's
+// own tile.
+func (c *Core) SimTile() int { return c.id }
+
 // OnEvent implements sim.Handler for the core's allocation-free delays.
 func (c *Core) OnEvent(kind uint8, a uint64, _ any) {
 	if a != c.token {

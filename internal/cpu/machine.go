@@ -78,6 +78,12 @@ type Config struct {
 	// fusion equivalence tests); the knob exists for differential testing
 	// and as a diagnostic escape hatch.
 	DisableFusion bool
+	// Par, when positive, runs the simulation on the sharded (tile-
+	// parallel) engine with that many tile groups (DESIGN.md §11). Results
+	// are bit-for-bit identical to the sequential engine at every worker
+	// count — pinned by the parallel-parity tests — so the knob trades
+	// engine structure, not simulated behavior. 0 = sequential.
+	Par int
 	// Tracer, when non-nil, records simulation events (internal/trace).
 	Tracer *trace.Tracer
 	// Telemetry, when non-nil, attaches the observability layer: sampled
@@ -131,7 +137,16 @@ func NewMachine(cfg Config, label, workload string, programs []Program) *Machine
 		panic(fmt.Sprintf("cpu: %d threads exceed %d cores", cfg.Threads, cfg.Machine.Cores))
 	}
 	engine := sim.NewEngine()
+	if cfg.Par > 0 {
+		// Sharded mode must be armed before any component schedules an
+		// event; the grant width defaults to 8x the NoC lookahead once the
+		// network exists below.
+		engine.EnablePar(cfg.Par, cfg.Machine.Cores)
+	}
 	sys := coherence.NewSystem(engine, cfg.Machine, cfg.HTM)
+	if cfg.Par > 0 {
+		engine.SetParGrantWidth(8 * sys.Net.Lookahead())
+	}
 	if cfg.Tracer != nil {
 		cfg.Tracer.Now = engine.Now
 		sys.Tracer = cfg.Tracer
@@ -211,29 +226,44 @@ func (m *Machine) Run() (*stats.Run, error) {
 }
 
 // collectTraffic gathers the memory-subsystem counters into the run stats.
+// Per-tile counters are first folded into one partial Traffic per tile
+// group, then merged in group order — a deterministic merge that yields the
+// same totals whether the run used the sequential engine (one group) or the
+// sharded one.
 func (m *Machine) collectTraffic() {
+	groups := m.Engine.ParWorkers()
+	if groups == 0 {
+		groups = 1
+	}
+	parts := make([]stats.Traffic, groups)
+	for i, l1 := range m.Sys.L1s {
+		p := &parts[m.Engine.ParGroupOf(i)]
+		p.L1Hits += l1.Hits
+		p.L1Misses += l1.Misses
+		p.TxWBs += l1.TxWBs
+		p.NacksSent += l1.NacksSent
+		p.RejectsSent += l1.RejectsSent
+		p.RejectsReceived += l1.RejectsReceived
+		p.WakesSent += l1.WakesSent
+		p.SignatureSpills += l1.OverflowEvictions
+		p.SwitchTries += l1.SwitchTries
+		p.SwitchGrants += l1.SwitchGrants
+	}
+	for i, b := range m.Sys.Banks {
+		p := &parts[m.Engine.ParGroupOf(i)]
+		p.DirRequests += b.Requests
+		p.LLCRejections += b.Rejections
+		p.MemFetches += b.MemFetches
+		p.BackInvals += b.BackInvals
+	}
 	t := &m.Stats.Traffic
+	for i := range parts {
+		t.Merge(&parts[i])
+	}
+	// NoC and lock state are machine-global, not per-tile.
 	t.Messages = m.Sys.Net.Messages
 	t.FlitHops = m.Sys.Net.FlitHops
 	t.QueueWait = m.Sys.Net.QueueWait
-	for _, l1 := range m.Sys.L1s {
-		t.L1Hits += l1.Hits
-		t.L1Misses += l1.Misses
-		t.TxWBs += l1.TxWBs
-		t.NacksSent += l1.NacksSent
-		t.RejectsSent += l1.RejectsSent
-		t.RejectsReceived += l1.RejectsReceived
-		t.WakesSent += l1.WakesSent
-		t.SignatureSpills += l1.OverflowEvictions
-		t.SwitchTries += l1.SwitchTries
-		t.SwitchGrants += l1.SwitchGrants
-	}
-	for _, b := range m.Sys.Banks {
-		t.DirRequests += b.Requests
-		t.LLCRejections += b.Rejections
-		t.MemFetches += b.MemFetches
-		t.BackInvals += b.BackInvals
-	}
 	t.LockAcquisitions = m.Lock.Acquisitions
 	t.LockHandovers = m.Lock.Handovers
 	m.Stats.Transitions = m.Sys.TransitionProfile()

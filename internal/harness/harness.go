@@ -7,9 +7,12 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
@@ -106,12 +109,20 @@ type Spec struct {
 	// §10). Results are bit-for-bit identical either way — the knob exists
 	// for the fusion equivalence tests and as a diagnostic escape hatch.
 	DisableFusion bool
+	// Par, when positive, runs on the sharded tile-parallel engine with
+	// that many tile groups (DESIGN.md §11). Bit-for-bit identical to the
+	// sequential engine, but key-affecting so differential tests can hold
+	// both results at once.
+	Par int
 }
 
 func (s Spec) key() string {
 	k := fmt.Sprintf("%s|%s|%d|%s|%d", s.System.Name, s.Workload.Name, s.Threads, s.Cache.Name, s.Seed)
 	if s.DisableFusion {
 		k += "|nofuse"
+	}
+	if s.Par > 0 {
+		k += fmt.Sprintf("|par%d", s.Par)
 	}
 	return k
 }
@@ -141,6 +152,7 @@ func ExecuteInstrumented(s Spec, tracer *trace.Tracer, tel *telemetry.Telemetry)
 		Tracer:        tracer,
 		Telemetry:     tel,
 		DisableFusion: s.DisableFusion,
+		Par:           s.Par,
 	}
 	if tel != nil {
 		tel.Meta = telemetry.Meta{
@@ -180,14 +192,40 @@ type call struct {
 	err  error
 }
 
-// NewRunner creates a runner with one worker per CPU.
+// NewRunner creates a runner with DefaultWorkers(0) workers.
 func NewRunner(seed uint64) *Runner {
 	return &Runner{
 		Seed:     seed,
-		Workers:  runtime.NumCPU(),
+		Workers:  DefaultWorkers(0),
 		results:  make(map[string]*stats.Run),
 		inflight: make(map[string]*call),
 	}
+}
+
+// WorkersFromEnv returns the worker count requested via LOCKILLER_WORKERS,
+// or 0 if the variable is unset or not a positive integer.
+func WorkersFromEnv() int {
+	if v := os.Getenv("LOCKILLER_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// DefaultWorkers resolves the runner worker count: an explicit positive
+// flag value wins, then LOCKILLER_WORKERS, then one worker per CPU. This is
+// the outer, spec-level parallelism budget; it composes multiplicatively
+// with any inner tile-level parallelism (Spec.Par), so front-ends that
+// enable both should split the CPU budget between the two layers.
+func DefaultWorkers(flagVal int) int {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if n := WorkersFromEnv(); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
 }
 
 func (r *Runner) execute(s Spec) (*stats.Run, error) {
@@ -267,6 +305,7 @@ func (r *Runner) RunAll(specs []Spec) error {
 			for s := range ch {
 				// Get provides the memoization, key-wrapped errors, and
 				// singleflight coalescing with any concurrent direct callers.
+				start := time.Now()
 				res, err := r.Get(s)
 				if err != nil {
 					r.mu.Lock()
@@ -275,7 +314,7 @@ func (r *Runner) RunAll(specs []Spec) error {
 					continue
 				}
 				if r.Log != nil {
-					r.Log(res.String())
+					r.Log(fmt.Sprintf("%s wall=%s", res, time.Since(start).Round(time.Millisecond)))
 				}
 			}
 		}()

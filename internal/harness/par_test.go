@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+// parWorkerCounts are the tile-group counts the parity tests exercise. 1 is
+// the degenerate single-group case, 8 exceeds the thread counts used by the
+// golden matrix so some groups own only idle tiles.
+var parWorkerCounts = []int{1, 2, 4, 8}
+
+// TestGoldenCycleCountsParallel re-runs the golden determinism matrix on the
+// sharded engine and checks every run against the same hard-pinned cycle
+// counts as the sequential engine: the parallel engine is not allowed to be
+// "deterministic but different" — it must be bit-for-bit the sequential
+// simulation. Subtests are named .../par=N so CI can run a single worker
+// count under -race.
+func TestGoldenCycleCountsParallel(t *testing.T) {
+	counts := parWorkerCounts
+	if testing.Short() {
+		counts = []int{1, 4}
+	}
+	for _, par := range counts {
+		par := par
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			t.Parallel()
+			for key, want := range goldenCycles {
+				spec := Spec{
+					System:   mustSystem(key.System),
+					Workload: mustWorkload(key.Workload),
+					Threads:  key.Threads,
+					Cache:    TypicalCache(),
+					Seed:     1,
+					Par:      par,
+				}
+				run, err := Execute(spec)
+				if err != nil {
+					t.Fatalf("%s/%s threads=%d par=%d: %v", key.System, key.Workload, key.Threads, par, err)
+				}
+				if run.ExecCycles != want {
+					t.Errorf("%s/%s threads=%d par=%d: ExecCycles=%d, golden sequential value %d",
+						key.System, key.Workload, key.Threads, par, run.ExecCycles, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelGrantWidthZero rebuilds a golden machine with the span-grant
+// heuristic disabled (width 0: every span is handed to a worker goroutine,
+// none executes inline on the coordinator) and checks the pinned cycle
+// count still holds. With the default width most narrow spans run inline;
+// this test — especially under -race — is what certifies the worker-handoff
+// protocol itself on the full simulator.
+func TestParallelGrantWidthZero(t *testing.T) {
+	for key, want := range goldenCycles {
+		if testing.Short() && key.Threads != 4 {
+			continue
+		}
+		sys := mustSystem(key.System)
+		wl := mustWorkload(key.Workload)
+		p := coherence.DefaultParams()
+		cache := TypicalCache()
+		p.L1Size = cache.L1Size
+		p.LLCSize = cache.LLCSize
+		cfg := cpu.Config{
+			Machine: p,
+			HTM:     sys.HTM,
+			Sync:    sys.Sync,
+			Threads: key.Threads,
+			Seed:    1,
+			Limit:   4_000_000_000,
+			Par:     4,
+		}
+		progs := stamp.Programs(wl, key.Threads, 1)
+		m := cpu.NewMachine(cfg, sys.Name, wl.Name, progs)
+		m.Engine.SetParGrantWidth(0)
+		run, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s/%s threads=%d: %v", key.System, key.Workload, key.Threads, err)
+		}
+		if run.ExecCycles != want {
+			t.Errorf("%s/%s threads=%d grant=0: ExecCycles=%d, golden %d",
+				key.System, key.Workload, key.Threads, run.ExecCycles, want)
+		}
+		if m.Engine.ParSpans() == 0 {
+			t.Errorf("%s/%s threads=%d: no spans granted to workers", key.System, key.Workload, key.Threads)
+		}
+	}
+}
+
+// parTrialSpecs enumerates the randomized differential matrix: a spread of
+// systems, workloads, and thread counts drawn with a fixed RNG so the trial
+// set is stable across runs but not hand-picked.
+func parTrialSpecs(n int) []Spec {
+	systems := Systems()
+	workloads := stamp.Workloads()
+	caches := []CacheConfig{TypicalCache(), SmallCache()}
+	threads := []int{2, 3, 4, 8}
+	rng := sim.NewRNG(0xd1ff)
+	specs := make([]Spec, 0, n)
+	for len(specs) < n {
+		specs = append(specs, Spec{
+			System:   systems[rng.Intn(len(systems))],
+			Workload: workloads[rng.Intn(len(workloads))],
+			Threads:  threads[rng.Intn(len(threads))],
+			Cache:    caches[rng.Intn(len(caches))],
+			Seed:     1 + rng.Uint64()%5,
+		})
+	}
+	return specs
+}
+
+// TestParallelDifferentialRandom runs randomized specs on the sequential
+// engine and on the sharded engine at every worker count, and requires the
+// entire stats.Run — cycles, per-core breakdowns, traffic counters,
+// transition profile — to be deeply equal, not just the headline cycle
+// count.
+func TestParallelDifferentialRandom(t *testing.T) {
+	n := 20
+	if testing.Short() {
+		n = 6
+	}
+	for i, spec := range parTrialSpecs(n) {
+		i, spec := i, spec
+		t.Run(fmt.Sprintf("trial%02d", i), func(t *testing.T) {
+			t.Parallel()
+			seq, err := Execute(spec)
+			if err != nil {
+				t.Fatalf("sequential %s: %v", spec.key(), err)
+			}
+			for _, par := range parWorkerCounts {
+				ps := spec
+				ps.Par = par
+				got, err := Execute(ps)
+				if err != nil {
+					t.Fatalf("par=%d %s: %v", par, spec.key(), err)
+				}
+				if !reflect.DeepEqual(seq, got) {
+					t.Errorf("par=%d %s: stats.Run diverged from sequential engine\nseq: %+v\npar: %+v",
+						par, spec.key(), seq, got)
+				}
+			}
+		})
+	}
+}

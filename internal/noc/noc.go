@@ -101,6 +101,21 @@ func New(engine *sim.Engine, mesh topology.Mesh, cfg Config) *Network {
 // Mesh returns the underlying topology.
 func (n *Network) Mesh() topology.Mesh { return n.mesh }
 
+// Lookahead returns the conservative-PDES lookahead of the interconnect:
+// the minimum latency of any cross-tile message (one hop of a single-flit
+// control message — link plus router pipeline, at least one cycle). No
+// event on one tile can cause an event on another tile sooner than this,
+// which is what lets the sharded engine (internal/sim/par.go) let a tile
+// group simulate ahead of its neighbors; the machine layer also derives
+// the default span-grant width from it.
+func (n *Network) Lookahead() uint64 {
+	l := n.cfg.LinkLatency + n.cfg.RouterDelay
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
 // Send schedules deliver to run when a message of the given flit count
 // arrives at dst, reserving link bandwidth along the X-Y route.
 func (n *Network) Send(src, dst int, flits int, deliver func()) {

@@ -25,6 +25,8 @@
 // popping the heap whenever its top is <= the earliest ring bucket preserves
 // the global (when, seq) order exactly. The two-tier scheduler is therefore
 // bit-for-bit identical in execution order to a single ordered queue.
+// (The same argument extends to the sharded engine in par.go, where events
+// are additionally staged across tile-group queues; see DESIGN.md §11.)
 //
 // Events are plain values in flat slices. The typed-event API (AtEvent /
 // AfterEvent) lets hot paths schedule a Handler callback with two payload
@@ -77,12 +79,12 @@ type bucket struct {
 	head int
 }
 
-// Engine is the discrete-event scheduler. The zero value is ready to use.
-type Engine struct {
-	now      uint64
-	seq      uint64
-	executed uint64
-
+// equeue is one two-tier calendar queue: the near-future bucket ring plus
+// the far-future 4-ary min-heap. The sequential engine owns exactly one;
+// the sharded engine (par.go) owns one per tile group plus one for the
+// global strand. Time (now) lives in the Engine and is passed in, so every
+// queue shares the same clock.
+type equeue struct {
 	ring      [ringSize]bucket
 	ringCount int
 	// ringMin is a lower bound on the cycle of the earliest ring event,
@@ -92,6 +94,20 @@ type Engine struct {
 	// O(ringSize) scan per query.
 	ringMin uint64
 	heap    []event // 4-ary min-heap ordered by (when, seq)
+}
+
+// Engine is the discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now      uint64
+	seq      uint64
+	executed uint64
+
+	q equeue
+
+	// par, when non-nil, switches the engine into sharded (tile-parallel)
+	// mode: events route to per-group queues by ownership and Run drives
+	// the span coordinator instead of the flat loop. See par.go.
+	par *parRuntime
 
 	// Watchdog state: the engine aborts a Run if no progress callback fires
 	// within Watchdog cycles. Components that make forward progress (e.g. a
@@ -113,7 +129,12 @@ func (e *Engine) Now() uint64 { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return e.ringCount + len(e.heap) }
+func (e *Engine) Pending() int {
+	if e.par != nil {
+		return e.par.pending()
+	}
+	return e.q.pending()
+}
 
 // schedule places ev at absolute cycle t. Scheduling in the past panics: it
 // is always a component bug.
@@ -123,16 +144,11 @@ func (e *Engine) schedule(t uint64, ev event) {
 	}
 	e.seq++
 	ev.when, ev.seq = t, e.seq
-	if t-e.now < ringSize {
-		b := &e.ring[t&ringMask]
-		b.ev = append(b.ev, ev)
-		if e.ringCount == 0 || t < e.ringMin {
-			e.ringMin = t
-		}
-		e.ringCount++
+	if e.par != nil {
+		e.par.schedule(e, ev)
 		return
 	}
-	e.heapPush(ev)
+	e.q.push(e.now, ev)
 }
 
 // At schedules fn to run at absolute cycle t.
@@ -157,40 +173,16 @@ func (e *Engine) AfterEvent(d uint64, h Handler, kind uint8, a uint64, p any) {
 // progress (e.g. a transaction committed or a section finished).
 func (e *Engine) Progress() { e.lastProgress = e.now }
 
-// peekRing returns the cycle of the earliest ring event. It starts from the
-// cached ringMin lower bound and scans forward over at most the buckets the
-// last pop emptied, tightening the bound as a side effect — amortized O(1)
-// across a run because ringMin only moves forward between insertions.
-func (e *Engine) peekRing() (uint64, bool) {
-	if e.ringCount == 0 {
-		return 0, false
-	}
-	t := e.ringMin
-	if t < e.now {
-		// The bound predates a lazy time advance; every pending event is at
-		// or after now, so the scan can start there. (Starting below now
-		// would misread a bucket refilled for cycle t+ringSize.)
-		t = e.now
-	}
-	for end := e.now + ringSize; t < end; t++ {
-		if b := &e.ring[t&ringMask]; b.head < len(b.ev) {
-			e.ringMin = t
-			return t, true
-		}
-	}
-	panic("sim: ring accounting corrupted")
-}
-
 // PeekNext returns the cycle of the earliest pending event without removing
 // it: the min of the calendar-ring head and the heap root. It is cheap by
 // design — the event-fusion fast path (internal/cpu) calls it once per
 // inlined operation to prove no event could interleave.
 func (e *Engine) PeekNext() (when uint64, ok bool) {
-	rt, rok := e.peekRing()
-	if len(e.heap) > 0 && (!rok || e.heap[0].when <= rt) {
-		return e.heap[0].when, true
+	if e.par != nil {
+		return e.par.peekNext(e)
 	}
-	return rt, rok
+	when, _, ok = e.q.peek(e.now)
+	return when, ok
 }
 
 // AdvanceTo lazily advances simulated time to cycle t without executing an
@@ -211,47 +203,33 @@ func (e *Engine) AdvanceTo(t uint64) {
 	e.now = t
 }
 
-// pop removes and returns the globally earliest event in (when, seq) order.
-//
-// Every event in a reachable ring bucket provably has when equal to the
-// bucket's scan cycle (see the package comment), so bucket FIFO order is
-// (when, seq) order. The heap wins ties at equal when because all of its
-// same-cycle events were scheduled — and therefore sequenced — before any
-// ring event of that cycle.
-func (e *Engine) pop() (event, bool) {
-	rt, rok := e.peekRing()
-	if len(e.heap) > 0 && (!rok || e.heap[0].when <= rt) {
-		return e.heapPop(), true
-	}
-	if !rok {
-		return event{}, false
-	}
-	b := &e.ring[rt&ringMask]
-	ev := b.ev[b.head]
-	b.ev[b.head] = event{} // drop references so the GC can reclaim payloads
-	b.head++
-	if b.head == len(b.ev) {
-		b.ev = b.ev[:0]
-		b.head = 0
-	}
-	e.ringCount--
-	return ev, true
-}
-
-// Step executes the next pending event, advancing time. It reports whether
-// an event was executed.
-func (e *Engine) Step() bool {
-	ev, ok := e.pop()
-	if !ok {
-		return false
-	}
-	e.now = ev.when
-	e.executed++
+// exec runs one popped event's callback.
+func (e *Engine) exec(ev *event) {
 	if ev.fn != nil {
 		ev.fn()
 	} else {
 		ev.h.OnEvent(ev.kind, ev.a, ev.p)
 	}
+}
+
+// Step executes the next pending event, advancing time. It reports whether
+// an event was executed. In sharded mode Step is not part of the hot loop
+// (the coordinator in par.go is), but it remains exact: it executes the
+// globally earliest event.
+func (e *Engine) Step() bool {
+	var ev event
+	var ok bool
+	if e.par != nil {
+		ev, ok = e.par.popGlobal(e)
+	} else {
+		ev, ok = e.q.pop(e.now)
+	}
+	if !ok {
+		return false
+	}
+	e.now = ev.when
+	e.executed++
+	e.exec(&ev)
 	return true
 }
 
@@ -260,20 +238,125 @@ func (e *Engine) Step() bool {
 // call the run aborts with a diagnostic error.
 func (e *Engine) Run(limit uint64) error {
 	e.lastProgress = e.now
+	if e.par != nil {
+		return e.par.run(e, limit)
+	}
 	for {
-		t, ok := e.PeekNext()
+		t, _, ok := e.q.peek(e.now)
 		if !ok {
 			return nil
 		}
 		if limit != 0 && t > limit {
-			return fmt.Errorf("%w: now=%d pending=%d", ErrLimitReached, e.now, e.Pending())
+			return e.limitErr()
 		}
 		if e.Watchdog != 0 && e.now-e.lastProgress > e.Watchdog {
-			return fmt.Errorf("sim: watchdog expired: no progress since cycle %d (now %d, pending %d)",
-				e.lastProgress, e.now, e.Pending())
+			return e.watchdogErr()
 		}
-		e.Step()
+		ev, _ := e.q.pop(e.now)
+		e.now = ev.when
+		e.executed++
+		e.exec(&ev)
 	}
+}
+
+// limitErr and watchdogErr build the Run failure diagnostics. They are
+// shared with the sharded coordinator so both engines fail with identical
+// messages at identical points.
+func (e *Engine) limitErr() error {
+	return fmt.Errorf("%w: now=%d pending=%d", ErrLimitReached, e.now, e.Pending())
+}
+
+func (e *Engine) watchdogErr() error {
+	return fmt.Errorf("sim: watchdog expired: no progress since cycle %d (now %d, pending %d)",
+		e.lastProgress, e.now, e.Pending())
+}
+
+// --- equeue operations ----------------------------------------------------
+
+// pending returns the number of queued events.
+func (q *equeue) pending() int { return q.ringCount + len(q.heap) }
+
+// push inserts ev (when and seq already assigned) routing by horizon: ring
+// if fewer than ringSize cycles out relative to now, heap otherwise.
+func (q *equeue) push(now uint64, ev event) {
+	if ev.when-now < ringSize {
+		b := &q.ring[ev.when&ringMask]
+		b.ev = append(b.ev, ev)
+		if q.ringCount == 0 || ev.when < q.ringMin {
+			q.ringMin = ev.when
+		}
+		q.ringCount++
+		return
+	}
+	q.heapPush(ev)
+}
+
+// peekRing returns the cycle of the earliest ring event. It starts from the
+// cached ringMin lower bound and scans forward over at most the buckets the
+// last pop emptied, tightening the bound as a side effect — amortized O(1)
+// across a run because ringMin only moves forward between insertions.
+func (q *equeue) peekRing(now uint64) (uint64, bool) {
+	if q.ringCount == 0 {
+		return 0, false
+	}
+	t := q.ringMin
+	if t < now {
+		// The bound predates a lazy time advance; every pending event is at
+		// or after now, so the scan can start there. (Starting below now
+		// would misread a bucket refilled for cycle t+ringSize.)
+		t = now
+	}
+	for end := now + ringSize; t < end; t++ {
+		if b := &q.ring[t&ringMask]; b.head < len(b.ev) {
+			q.ringMin = t
+			return t, true
+		}
+	}
+	panic("sim: ring accounting corrupted")
+}
+
+// peek returns the (when, seq) of the queue's earliest event in (when, seq)
+// order without removing it. The heap wins ties at equal when because for
+// any cycle, every heap insertion into this queue was sequenced before every
+// ring insertion (see the package comment; DESIGN.md §11 extends the
+// argument to merged cross-group events).
+func (q *equeue) peek(now uint64) (when, seq uint64, ok bool) {
+	rt, rok := q.peekRing(now)
+	if len(q.heap) > 0 && (!rok || q.heap[0].when <= rt) {
+		return q.heap[0].when, q.heap[0].seq, true
+	}
+	if !rok {
+		return 0, 0, false
+	}
+	b := &q.ring[rt&ringMask]
+	return rt, b.ev[b.head].seq, true
+}
+
+// pop removes and returns the queue's earliest event in (when, seq) order.
+//
+// Every event in a reachable ring bucket provably has when equal to the
+// bucket's scan cycle (see the package comment), so bucket FIFO order is
+// (when, seq) order. The heap wins ties at equal when because all of its
+// same-cycle events were scheduled — and therefore sequenced — before any
+// ring event of that cycle.
+func (q *equeue) pop(now uint64) (event, bool) {
+	rt, rok := q.peekRing(now)
+	if len(q.heap) > 0 && (!rok || q.heap[0].when <= rt) {
+		return q.heapPop(), true
+	}
+	if !rok {
+		return event{}, false
+	}
+	b := &q.ring[rt&ringMask]
+	ev := b.ev[b.head]
+	b.ev[b.head] = event{} // drop references so the GC can reclaim payloads
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+	}
+	q.ringCount--
+	return ev, true
 }
 
 // --- 4-ary min-heap over a flat []event slice ---------------------------
@@ -286,9 +369,9 @@ func less(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-func (e *Engine) heapPush(ev event) {
-	e.heap = append(e.heap, ev)
-	h := e.heap
+func (q *equeue) heapPush(ev event) {
+	q.heap = append(q.heap, ev)
+	h := q.heap
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -301,22 +384,22 @@ func (e *Engine) heapPush(ev event) {
 	h[i] = ev
 }
 
-func (e *Engine) heapPop() event {
-	h := e.heap
+func (q *equeue) heapPop() event {
+	h := q.heap
 	top := h[0]
 	n := len(h) - 1
 	last := h[n]
 	h[n] = event{} // drop references so the GC can reclaim payloads
-	e.heap = h[:n]
+	q.heap = h[:n]
 	if n > 0 {
-		e.siftDown(last)
+		q.siftDown(last)
 	}
 	return top
 }
 
 // siftDown places ev starting from the root of the (already popped) heap.
-func (e *Engine) siftDown(ev event) {
-	h := e.heap
+func (q *equeue) siftDown(ev event) {
+	h := q.heap
 	n := len(h)
 	i := 0
 	for {

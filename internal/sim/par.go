@@ -1,0 +1,468 @@
+// Sharded (tile-parallel) mode of the discrete-event engine: a conservative
+// PDES runtime that partitions event ownership into tile groups, gives each
+// group its own two-tier calendar queue and worker goroutine, and exchanges
+// cross-group events through staged outboxes merged in exact (when, seq)
+// order.
+//
+// The runtime is *exact*: results are bit-for-bit identical to the
+// sequential engine at every worker count. Exactness is enforced by a
+// deliberately strong synchronization discipline — at any instant at most
+// one goroutine (a granted worker or the coordinator) executes events and
+// mutates engine state, and every handoff is a channel send, so the Go race
+// detector can certify the protocol. The coordinator grants a group a
+// *span*: the right to simulate ahead while the group's next event precedes
+// both the frozen heads of all other queues (the span horizon) and the
+// earliest event the span itself has staged for another group. Within a
+// span the worker sees exactly the global (when, seq) frontier — its
+// PeekNext view includes the horizon and its own outbox — so the event-
+// fusion fast path (DESIGN.md §10) makes identical decisions in both
+// engines. DESIGN.md §11 develops the ordering argument and documents why
+// the NoC lookahead cannot widen spans beyond this without giving up
+// bit-identity.
+//
+// This file is the PDES coordinator: the only place in package sim where
+// goroutines and channels are permitted, each use waived line-by-line with
+// //lockiller:par-ok (see internal/analysis/nowallclock).
+package sim
+
+import "fmt"
+
+// TileOwner is implemented by typed-event handlers whose events all belong
+// to one fixed tile (cores, L1 controllers, directory banks). The sharded
+// engine routes their events to the owning tile group's queue.
+type TileOwner interface {
+	SimTile() int
+}
+
+// EventOwner is implemented by typed-event handlers whose event ownership
+// depends on the event payload (the coherence System routes NoC deliveries
+// by Msg.Dst and delayed sends by Msg.Src). It takes precedence over
+// TileOwner.
+type EventOwner interface {
+	EventTile(kind uint8, a uint64, p any) int
+}
+
+// defaultGrantWidth is the minimum span width (in cycles between a group's
+// next event and the span horizon) for which the coordinator hands the span
+// to the group's worker goroutine instead of executing inline. Narrow spans
+// are cheaper to run on the coordinator than to hand off. The machine layer
+// overrides this from the NoC lookahead (8x the minimum cross-tile latency).
+const defaultGrantWidth = 16
+
+// parGroup is one tile group's scheduling state.
+type parGroup struct {
+	q        equeue
+	executed uint64 // events owned by this group that have executed
+}
+
+// staged is one cross-group event captured in a span's outbox: the event
+// (with its final when and globally-ordered seq) plus its destination group
+// (-1 = the global strand).
+type staged struct {
+	ev  event
+	grp int32
+}
+
+// grant hands a span to a worker; spanResult hands control back.
+type grant struct {
+	limit uint64
+}
+
+type spanResult struct {
+	err error
+}
+
+// parRuntime is the sharded-engine state hanging off an Engine. All fields
+// are owned by whichever goroutine currently holds the execution token
+// (coordinator, or the worker of the granted span); the token moves only
+// across channel operations, which provide the happens-before edges.
+type parRuntime struct {
+	n       int     // worker (= group) count
+	tileGrp []int32 // tile -> group
+
+	groups []parGroup
+	strand equeue // events with no tile owner (closures): coordinator-executed
+
+	// active is the group currently granted a span, or -1 when the
+	// coordinator holds the token (between spans, and while executing
+	// strand events or narrow spans inline).
+	active int
+
+	// Span state, frozen at grant time. horizon is the earliest head among
+	// all queues other than the granted group's; the worker must not
+	// execute an event at or past it.
+	horizonWhen, horizonSeq uint64
+	horizonOk               bool
+
+	// outbox stages events the active span schedules for other groups (and
+	// the strand); the coordinator merges them after the span. outboxWhen/
+	// Seq track the earliest staged event, which bounds the span exactly
+	// like the horizon does.
+	outbox                []staged
+	outboxWhen, outboxSeq uint64
+	outboxOk              bool
+
+	// grantWidth is the minimum horizon-distance for granting a span to a
+	// worker (0 = always grant).
+	grantWidth uint64
+
+	grantCh []chan grant
+	doneCh  chan spanResult
+	started bool
+
+	strandExecuted uint64
+	spans          uint64 // spans granted to workers (not inline)
+}
+
+// EnablePar switches the engine into sharded mode with the given worker
+// count over a machine of `tiles` tiles. Tiles are partitioned into
+// contiguous bands (tile t belongs to group t*workers/tiles). It must be
+// called before any event is scheduled; results are bit-for-bit identical
+// to the sequential engine for every worker count.
+func (e *Engine) EnablePar(workers, tiles int) {
+	if e.par != nil {
+		panic("sim: EnablePar called twice")
+	}
+	if e.seq != 0 || e.q.pending() != 0 || e.now != 0 {
+		panic("sim: EnablePar after events were scheduled")
+	}
+	if tiles < 1 {
+		panic("sim: EnablePar with no tiles")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > tiles {
+		workers = tiles
+	}
+	tileGrp := make([]int32, tiles)
+	for t := range tileGrp {
+		tileGrp[t] = int32(t * workers / tiles)
+	}
+	e.par = &parRuntime{
+		n:          workers,
+		tileGrp:    tileGrp,
+		groups:     make([]parGroup, workers),
+		active:     -1,
+		grantWidth: defaultGrantWidth,
+	}
+}
+
+// SetParGrantWidth sets the minimum span width (cycles between a group's
+// next event and the span horizon) for handing the span to a worker
+// goroutine; narrower spans execute inline on the coordinator. Zero grants
+// every span. The choice affects only where events execute, never their
+// order — results are identical for every width. No-op in sequential mode.
+func (e *Engine) SetParGrantWidth(w uint64) {
+	if e.par != nil {
+		e.par.grantWidth = w
+	}
+}
+
+// ParWorkers returns the sharded-mode worker count, or 0 in sequential mode.
+func (e *Engine) ParWorkers() int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.n
+}
+
+// ParGroupOf returns the tile group owning the given tile (0 in sequential
+// mode, where everything is one group).
+func (e *Engine) ParGroupOf(tile int) int {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.groupOfTileIndex(tile)
+}
+
+// ParEventCounts returns the per-group executed-event counts plus the
+// global-strand count. The counts are attributed by event ownership, so
+// they are identical regardless of grant width or worker placement. Nil in
+// sequential mode.
+func (e *Engine) ParEventCounts() (groups []uint64, strand uint64) {
+	if e.par == nil {
+		return nil, 0
+	}
+	groups = make([]uint64, e.par.n)
+	for i := range e.par.groups {
+		groups[i] = e.par.groups[i].executed
+	}
+	return groups, e.par.strandExecuted
+}
+
+// ParSpans returns the number of spans granted to worker goroutines (as
+// opposed to executed inline on the coordinator). 0 in sequential mode.
+func (e *Engine) ParSpans() uint64 {
+	if e.par == nil {
+		return 0
+	}
+	return e.par.spans
+}
+
+// lessKey orders two (when, seq) keys.
+func lessKey(w1, s1, w2, s2 uint64) bool {
+	return w1 < w2 || (w1 == w2 && s1 < s2)
+}
+
+// groupOf derives the owning group of an event: closures belong to the
+// global strand (-1); typed events follow their handler's payload-dependent
+// (EventOwner) or fixed (TileOwner) tile.
+func (p *parRuntime) groupOf(ev *event) int {
+	if ev.fn != nil {
+		return -1
+	}
+	if eo, ok := ev.h.(EventOwner); ok {
+		return p.groupOfTileIndex(eo.EventTile(ev.kind, ev.a, ev.p))
+	}
+	if to, ok := ev.h.(TileOwner); ok {
+		return p.groupOfTileIndex(to.SimTile())
+	}
+	return -1
+}
+
+func (p *parRuntime) groupOfTileIndex(t int) int {
+	if t < 0 || t >= len(p.tileGrp) {
+		return -1
+	}
+	return int(p.tileGrp[t])
+}
+
+func (p *parRuntime) queueFor(g int) *equeue {
+	if g < 0 {
+		return &p.strand
+	}
+	return &p.groups[g].q
+}
+
+// schedule routes ev (when and seq already assigned by the engine) to its
+// owner's queue. During a granted span, events for other groups are staged
+// in the span's outbox instead of being inserted directly: the inactive
+// queues stay frozen, and the coordinator merges the outbox — still in seq
+// order — when the span ends.
+func (p *parRuntime) schedule(e *Engine, ev event) {
+	g := p.groupOf(&ev)
+	if p.active >= 0 && g != p.active {
+		if g >= 0 && ev.when <= e.now {
+			// Cross-tile events travel over the NoC, whose minimum boundary
+			// latency (noc.Network.Lookahead) is at least one cycle; a
+			// same-cycle cross-group event would mean a model component
+			// bypassed the interconnect.
+			panic(fmt.Sprintf("sim: cross-group event at cycle %d not after now %d (NoC lookahead violated)", ev.when, e.now))
+		}
+		p.outbox = append(p.outbox, staged{ev: ev, grp: int32(g)})
+		if !p.outboxOk || lessKey(ev.when, ev.seq, p.outboxWhen, p.outboxSeq) {
+			p.outboxWhen, p.outboxSeq, p.outboxOk = ev.when, ev.seq, true
+		}
+		return
+	}
+	p.queueFor(g).push(e.now, ev)
+}
+
+// mergeOutbox folds the ended span's staged events into their destination
+// queues. The outbox is in staging order, which is seq order, and every
+// staged seq exceeds every seq already queued (seqs are assigned by the
+// single active goroutine), so bucket FIFO order remains (when, seq) order
+// after the merge — the argument DESIGN.md §11 spells out.
+func (p *parRuntime) mergeOutbox(e *Engine) {
+	for i := range p.outbox {
+		s := &p.outbox[i]
+		p.queueFor(int(s.grp)).push(e.now, s.ev)
+		s.ev = event{} // drop references so the GC can reclaim payloads
+	}
+	p.outbox = p.outbox[:0]
+	p.outboxOk = false
+}
+
+// qhead identifies a queue head during the coordinator's frontier scan.
+type qhead struct {
+	g    int
+	when uint64
+	seq  uint64
+	ok   bool
+}
+
+// globalMin scans every queue head and returns the globally earliest
+// (best) and the earliest among the remaining queues (next). When best is
+// granted a span, next is the span horizon.
+func (p *parRuntime) globalMin(e *Engine) (best, next qhead) {
+	if w, s, ok := p.strand.peek(e.now); ok {
+		best = qhead{g: -1, when: w, seq: s, ok: true}
+	}
+	for i := range p.groups {
+		w, s, ok := p.groups[i].q.peek(e.now)
+		if !ok {
+			continue
+		}
+		switch {
+		case !best.ok || lessKey(w, s, best.when, best.seq):
+			next = best
+			best = qhead{g: i, when: w, seq: s, ok: true}
+		case !next.ok || lessKey(w, s, next.when, next.seq):
+			next = qhead{g: i, when: w, seq: s, ok: true}
+		}
+	}
+	return best, next
+}
+
+// peekNext is the sharded engine's PeekNext. Inside a span it combines the
+// group's own head with the frozen horizon and the span outbox — exactly
+// the global pending minimum — so event fusion proves the same "no event
+// can interleave" fact it proves on the sequential engine. Outside a span
+// the coordinator scans all queues.
+func (p *parRuntime) peekNext(e *Engine) (uint64, bool) {
+	if p.active >= 0 {
+		when, _, ok := p.groups[p.active].q.peek(e.now)
+		if p.horizonOk && (!ok || p.horizonWhen < when) {
+			when, ok = p.horizonWhen, true
+		}
+		if p.outboxOk && (!ok || p.outboxWhen < when) {
+			when, ok = p.outboxWhen, true
+		}
+		return when, ok
+	}
+	best, _ := p.globalMin(e)
+	return best.when, best.ok
+}
+
+// popGlobal removes the globally earliest event (coordinator context only;
+// used by Engine.Step).
+func (p *parRuntime) popGlobal(e *Engine) (event, bool) {
+	best, _ := p.globalMin(e)
+	if !best.ok {
+		return event{}, false
+	}
+	ev, _ := p.queueFor(best.g).pop(e.now)
+	p.countExecuted(best.g)
+	return ev, true
+}
+
+func (p *parRuntime) countExecuted(g int) {
+	if g < 0 {
+		p.strandExecuted++
+	} else {
+		p.groups[g].executed++
+	}
+}
+
+// pending counts queued events across all groups, the strand, and any
+// staged outbox entries.
+func (p *parRuntime) pending() int {
+	n := p.strand.pending() + len(p.outbox)
+	for i := range p.groups {
+		n += p.groups[i].q.pending()
+	}
+	return n
+}
+
+// run is the sharded engine's main loop: the epoch coordinator. Each
+// iteration finds the global (when, seq) frontier, then either executes the
+// earliest event inline (strand events and narrow spans) or grants the
+// owning group's worker a span up to the frozen horizon. The loop, the
+// limit check, and the watchdog check trigger at exactly the same event
+// boundaries as the sequential Run, so both engines fail identically too.
+func (p *parRuntime) run(e *Engine, limit uint64) error {
+	p.start(e)
+	defer p.stop()
+	for {
+		best, next := p.globalMin(e)
+		if !best.ok {
+			return nil
+		}
+		if limit != 0 && best.when > limit {
+			return e.limitErr()
+		}
+		if e.Watchdog != 0 && e.now-e.lastProgress > e.Watchdog {
+			return e.watchdogErr()
+		}
+		if best.g < 0 || (next.ok && p.grantWidth != 0 && next.when-best.when < p.grantWidth) {
+			// Inline: strand events always run on the coordinator, and a
+			// narrow span costs more to hand off than to run here. Inline
+			// execution inserts directly into every queue (the coordinator
+			// is the merge point), so order is exact either way.
+			ev, _ := p.queueFor(best.g).pop(e.now)
+			p.countExecuted(best.g)
+			e.now = ev.when
+			e.executed++
+			e.exec(&ev)
+			continue
+		}
+		p.horizonWhen, p.horizonSeq, p.horizonOk = next.when, next.seq, next.ok
+		p.outboxOk = false
+		p.active = best.g
+		p.grantCh[best.g] <- grant{limit: limit} //lockiller:par-ok span handoff to the group's worker
+		res := <-p.doneCh                        //lockiller:par-ok span completion returns the token
+		p.active = -1
+		p.spans++
+		p.mergeOutbox(e)
+		if res.err != nil {
+			return res.err
+		}
+	}
+}
+
+// runSpan executes the granted group's events while the group's next event
+// strictly precedes — in (when, seq) order — both the frozen horizon and
+// everything the span has staged for other groups. It runs on the worker
+// goroutine, which holds the execution token for the duration.
+func (p *parRuntime) runSpan(e *Engine, g int, limit uint64) error {
+	grp := &p.groups[g]
+	for {
+		when, seq, ok := grp.q.peek(e.now)
+		if !ok {
+			return nil
+		}
+		if p.horizonOk && !lessKey(when, seq, p.horizonWhen, p.horizonSeq) {
+			return nil
+		}
+		if p.outboxOk && !lessKey(when, seq, p.outboxWhen, p.outboxSeq) {
+			return nil
+		}
+		if limit != 0 && when > limit {
+			return e.limitErr()
+		}
+		if e.Watchdog != 0 && e.now-e.lastProgress > e.Watchdog {
+			return e.watchdogErr()
+		}
+		ev, _ := grp.q.pop(e.now)
+		e.now = ev.when
+		e.executed++
+		grp.executed++
+		e.exec(&ev)
+	}
+}
+
+// workerLoop is one group's worker goroutine: it waits for span grants and
+// returns the token (plus any error) when the span ends. It exits when the
+// grant channel closes at the end of a run.
+func (p *parRuntime) workerLoop(e *Engine, g int) {
+	for gr := range p.grantCh[g] { //lockiller:par-ok workers block between spans
+		err := p.runSpan(e, g, gr.limit)
+		p.doneCh <- spanResult{err: err} //lockiller:par-ok token returns to the coordinator
+	}
+}
+
+// start spawns the worker goroutines (idempotent per run).
+func (p *parRuntime) start(e *Engine) {
+	if p.started {
+		return
+	}
+	p.started = true
+	p.doneCh = make(chan spanResult)
+	p.grantCh = make([]chan grant, p.n)
+	for g := range p.grantCh {
+		p.grantCh[g] = make(chan grant)
+		go p.workerLoop(e, g) //lockiller:par-ok one worker per tile group
+	}
+}
+
+// stop shuts the workers down so a finished run leaks no goroutines.
+func (p *parRuntime) stop() {
+	if !p.started {
+		return
+	}
+	for _, ch := range p.grantCh {
+		close(ch) //lockiller:par-ok run ended; workers exit
+	}
+	p.started = false
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// parRec is one executed event in the synthetic workload's log: enough to
+// detect any reordering between the sequential and sharded engines.
+type parRec struct {
+	tile int // -1 = closure (global strand)
+	when uint64
+	kind uint8
+	a    uint64
+}
+
+// parNode is one synthetic tile: it logs every event and deterministically
+// fans out follow-up work — cross-tile typed events (delay >= 1, matching
+// the NoC lookahead contract), same-tile zero-delay events, and strand
+// closures that themselves re-enter tiles.
+type parNode struct {
+	id  int
+	sim *parSim
+}
+
+func (n *parNode) SimTile() int { return n.id }
+
+func (n *parNode) OnEvent(kind uint8, a uint64, _ any) {
+	s := n.sim
+	s.log = append(s.log, parRec{tile: n.id, when: s.eng.Now(), kind: kind, a: a})
+	if s.budget == 0 {
+		return
+	}
+	s.budget--
+	next := s.nodes[(n.id+1+int(a%uint64(len(s.nodes)-1)))%len(s.nodes)]
+	s.eng.AfterEvent(1+a%7, next, kind+1, a*0x9E3779B97F4A7C15+1, nil)
+	if a%11 == 0 {
+		// Same-tile events may be same-cycle: no NoC boundary is crossed.
+		s.eng.AfterEvent(0, n, 9, a+3, nil)
+	}
+	if a%5 == 0 {
+		aa := a
+		target := s.nodes[int(aa%uint64(len(s.nodes)))]
+		s.eng.After(aa%3, func() {
+			s.log = append(s.log, parRec{tile: -1, when: s.eng.Now(), kind: 0xFF, a: aa})
+			if s.budget > 0 {
+				s.budget--
+				s.eng.AfterEvent(1+aa%4, target, 7, aa^0xABCD, nil)
+			}
+		})
+	}
+}
+
+type parSim struct {
+	eng    *Engine
+	nodes  []*parNode
+	log    []parRec
+	budget int
+}
+
+// newParSim builds the synthetic workload on a fresh engine. workers == 0
+// keeps the engine sequential.
+func newParSim(workers int, grantWidth uint64, tiles, budget int) *parSim {
+	eng := NewEngine()
+	if workers > 0 {
+		eng.EnablePar(workers, tiles)
+		eng.SetParGrantWidth(grantWidth)
+	}
+	s := &parSim{eng: eng, budget: budget}
+	for i := 0; i < tiles; i++ {
+		s.nodes = append(s.nodes, &parNode{id: i, sim: s})
+	}
+	for i := 0; i < tiles; i++ {
+		eng.AtEvent(uint64(i%3), s.nodes[i], 0, uint64(2*i+1), nil)
+	}
+	return s
+}
+
+var parTestConfigs = []struct {
+	workers    int
+	grantWidth uint64
+}{
+	{1, 0}, {1, 16}, {2, 0}, {2, 4}, {3, 16}, {4, 0}, {4, 16}, {8, 0}, {8, 16},
+}
+
+// TestParSyntheticParity drives the synthetic cross-tile workload on the
+// sequential engine and on the sharded engine across worker counts and grant
+// widths (0 forces every span through a worker goroutine; larger widths
+// exercise the inline path) and requires the complete execution log — tile,
+// cycle, kind, payload, in order — to match exactly.
+func TestParSyntheticParity(t *testing.T) {
+	const tiles, budget = 8, 5000
+	ref := newParSim(0, 0, tiles, budget)
+	if err := ref.eng.Run(0); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if len(ref.log) < budget {
+		t.Fatalf("synthetic workload too small: %d records", len(ref.log))
+	}
+	for _, cfg := range parTestConfigs {
+		name := fmt.Sprintf("workers=%d,grant=%d", cfg.workers, cfg.grantWidth)
+		s := newParSim(cfg.workers, cfg.grantWidth, tiles, budget)
+		if err := s.eng.Run(0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(ref.log, s.log) {
+			for i := range ref.log {
+				if i >= len(s.log) || ref.log[i] != s.log[i] {
+					t.Fatalf("%s: execution order diverges at record %d: seq=%+v par=%+v",
+						name, i, ref.log[i], s.log[i])
+				}
+			}
+			t.Fatalf("%s: log lengths differ: seq=%d par=%d", name, len(ref.log), len(s.log))
+		}
+		if s.eng.Now() != ref.eng.Now() || s.eng.Executed() != ref.eng.Executed() {
+			t.Errorf("%s: now/executed diverge: seq=(%d,%d) par=(%d,%d)",
+				name, ref.eng.Now(), ref.eng.Executed(), s.eng.Now(), s.eng.Executed())
+		}
+	}
+}
+
+// TestParEventCounts checks the ownership-attributed counters: the per-group
+// counts plus the strand count must sum to the engine total, and — because
+// attribution follows event ownership, not execution placement — must be
+// identical across grant widths for a fixed worker count.
+func TestParEventCounts(t *testing.T) {
+	const tiles, budget = 8, 2000
+	for _, workers := range []int{2, 4} {
+		var ref []uint64
+		var refStrand uint64
+		for _, gw := range []uint64{0, 16} {
+			s := newParSim(workers, gw, tiles, budget)
+			if err := s.eng.Run(0); err != nil {
+				t.Fatalf("workers=%d grant=%d: %v", workers, gw, err)
+			}
+			groups, strand := s.eng.ParEventCounts()
+			if len(groups) != workers {
+				t.Fatalf("workers=%d: ParEventCounts returned %d groups", workers, len(groups))
+			}
+			total := strand
+			for _, g := range groups {
+				total += g
+			}
+			if total != s.eng.Executed() {
+				t.Errorf("workers=%d grant=%d: counts sum %d != executed %d",
+					workers, gw, total, s.eng.Executed())
+			}
+			if ref == nil {
+				ref, refStrand = groups, strand
+			} else if !reflect.DeepEqual(ref, groups) || strand != refStrand {
+				t.Errorf("workers=%d: counts differ across grant widths: %v/%d vs %v/%d",
+					workers, ref, refStrand, groups, strand)
+			}
+		}
+	}
+	seq := newParSim(0, 0, tiles, budget)
+	if g, s := seq.eng.ParEventCounts(); g != nil || s != 0 {
+		t.Errorf("sequential engine reported par counts: %v, %d", g, s)
+	}
+}
+
+// TestParSpansGranted checks that grant width 0 actually exercises worker
+// goroutines (spans > 0) — guarding against the inline heuristic silently
+// swallowing the whole run and turning the parity suite into a no-op.
+func TestParSpansGranted(t *testing.T) {
+	s := newParSim(4, 0, 8, 2000)
+	if err := s.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.eng.ParSpans() == 0 {
+		t.Fatal("grant width 0 granted no spans to workers")
+	}
+}
+
+// TestParLimitErrorParity drives both engines into the cycle limit and the
+// watchdog, and requires identical failure errors: the sharded coordinator
+// and span runner check at the same event boundaries as the sequential loop.
+func TestParLimitErrorParity(t *testing.T) {
+	run := func(workers int, grantWidth, limit, watchdog uint64) error {
+		// The closure-spawned chains multiply, so the budget must outlive the
+		// limit: 50k events reach well past cycle 60.
+		s := newParSim(workers, grantWidth, 8, 50_000)
+		s.eng.Watchdog = watchdog
+		return s.eng.Run(limit)
+	}
+	for _, tc := range []struct {
+		name            string
+		limit, watchdog uint64
+	}{
+		{"limit", 50, 0},
+		{"watchdog", 0, 60},
+	} {
+		ref := run(0, 0, tc.limit, tc.watchdog)
+		if ref == nil {
+			t.Fatalf("%s: sequential run unexpectedly succeeded", tc.name)
+		}
+		for _, cfg := range parTestConfigs {
+			got := run(cfg.workers, cfg.grantWidth, tc.limit, tc.watchdog)
+			if got == nil || got.Error() != ref.Error() {
+				t.Errorf("%s workers=%d grant=%d: error %q, sequential %q",
+					tc.name, cfg.workers, cfg.grantWidth, got, ref)
+			}
+		}
+	}
+}
+
+// TestEnableParGuards pins the misuse panics: double arming, arming after
+// events exist, and a worker count clamped to the tile count.
+func TestEnableParGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	e := NewEngine()
+	e.EnablePar(4, 8)
+	mustPanic("twice", func() { e.EnablePar(4, 8) })
+	e2 := NewEngine()
+	e2.After(1, func() {})
+	mustPanic("after schedule", func() { e2.EnablePar(2, 4) })
+	e3 := NewEngine()
+	e3.EnablePar(64, 4)
+	if got := e3.ParWorkers(); got != 4 {
+		t.Errorf("workers not clamped to tiles: %d", got)
+	}
+	if g := e3.ParGroupOf(3); g != 3 {
+		t.Errorf("ParGroupOf(3) = %d with 4 groups over 4 tiles", g)
+	}
+	if g := e3.ParGroupOf(99); g != -1 {
+		t.Errorf("out-of-range tile mapped to group %d, want -1 (strand)", g)
+	}
+}

@@ -5,8 +5,10 @@
 # compares it against the newest committed BENCH_*.json. A benchmark
 # regresses when its ns/op or allocs/op exceeds the baseline by more than
 # the budget (default 15%); a benchmark whose baseline is 0 allocs/op must
-# stay at 0. New benchmarks absent from the baseline are reported but never
-# fail the run. Exit status is 1 on any regression.
+# stay at 0. Benchmarks present in only one of the two files are tolerated
+# and reported explicitly — added ones (no baseline yet) and removed ones
+# (baseline only) are named in the output but never fail the run. Exit
+# status is 1 on any regression.
 #
 # Usage: scripts/bench_compare.sh [fresh.json] [budget-pct]
 set -eu
@@ -54,6 +56,7 @@ FNR == 1 { fileno++ }
     ns = field($0, "ns_per_op")
     allocs = field($0, "allocs_per_op")
     if (fileno == 1) {
+        base_order[++bn] = name
         base_ns[name] = ns
         base_allocs[name] = allocs
     } else {
@@ -66,10 +69,12 @@ END {
     fmt = "%-28s %14s %14s %9s  %s\n"
     printf fmt, "benchmark", "base ns/op", "new ns/op", "delta", "status"
     fail = 0
+    added = removed = ""
     for (i = 1; i <= n; i++) {
         name = order[i]
         if (!(name in base_ns)) {
-            printf fmt, name, "-", new_ns[name], "-", "new (no baseline)"
+            added = added (added == "" ? "" : ", ") name
+            printf fmt, name, "-", new_ns[name], "-", "added (no baseline)"
             continue
         }
         d = 100 * (new_ns[name] - base_ns[name]) / base_ns[name]
@@ -85,5 +90,14 @@ END {
         }
         printf fmt, name, base_ns[name], new_ns[name], sprintf("%+.1f%%", d), status
     }
+    for (i = 1; i <= bn; i++) {
+        name = base_order[i]
+        if (!(name in new_ns)) {
+            removed = removed (removed == "" ? "" : ", ") name
+            printf fmt, name, base_ns[name], "-", "-", "removed (baseline only)"
+        }
+    }
+    if (added != "")   printf "added benchmarks:   %s\n", added
+    if (removed != "") printf "removed benchmarks: %s\n", removed
     exit fail
 }' "$BASE" "$FRESH"
