@@ -18,11 +18,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (determinism + pool-ownership invariants).
-# See DESIGN.md "Determinism & pooling rules" for what each pass enforces
-# and how to waive a finding.
+# Project-specific analyzers (determinism + pool-ownership invariants + the
+# crosstile shared-state inventory enforced against internal/sim/
+# crosstile_registry.txt). See DESIGN.md "Determinism & pooling rules" and
+# §12 for what each pass enforces and how to waive a finding.
 lint:
 	$(GO) run ./cmd/lockillerlint ./...
+
+# Machine-readable diagnostics for CI and tooling (same analyzers as lint).
+lint-json:
+	$(GO) run ./cmd/lockillerlint -json ./...
+
+# Regenerate the crosstile registry after a deliberate shared-state change;
+# the nightly drift job requires the committed file to be byte-identical to
+# a fresh run.
+crosstile-registry:
+	$(GO) run ./cmd/lockillerlint -analyzers crosstile -crosstile-write-registry ./...
 
 # External linters. These download a tool, so they are CI-only targets on
 # machines with network access; `make lint` stays fully offline.

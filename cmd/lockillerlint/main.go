@@ -1,6 +1,6 @@
 // Command lockillerlint is the multichecker for the repository's custom
 // static-analysis suite. It loads the named packages from source (stdlib-only
-// module, no external driver needed) and runs the seven lockiller passes:
+// module, no external driver needed) and runs the nine lockiller passes:
 //
 //	detmap        — order-dependent side effects in map-range loops of
 //	                deterministic packages
@@ -14,24 +14,34 @@
 //	                hot paths that pay argument evaluation when disabled
 //	fusepath      — evL1Done scheduled outside L1.finishHit, breaking the
 //	                event-fusion fast path's single-completion-site invariant
+//	callgraph     — (library pass, no diagnostics of its own) interprocedural
+//	                call graph + per-function summaries shared via Facts
+//	crosstile     — every state access reachable from an event-handler root
+//	                classified own-tile / cross-tile / global-immutable and
+//	                diffed against internal/sim/crosstile_registry.txt
 //
 // Usage:
 //
-//	lockillerlint [-analyzers a,b] [packages]
+//	lockillerlint [-analyzers a,b] [-json] [-unused-waivers]
+//	              [-crosstile-inventory out.json] [-crosstile-write-registry]
+//	              [packages]
 //
 // Packages default to ./... resolved against the enclosing module. Exit
 // status is 1 when any diagnostic is reported, 2 on load errors, matching
 // go vet. See DESIGN.md "Determinism & pooling rules" for the invariants and
-// the //lockiller: waiver syntax.
+// the //lockiller: waiver syntax, and DESIGN.md §12 for the crosstile
+// inventory workflow.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/crosstile"
 	"repro/internal/analysis/detmap"
 	"repro/internal/analysis/evtalloc"
 	"repro/internal/analysis/fusepath"
@@ -42,6 +52,7 @@ import (
 )
 
 var all = []*analysis.Analyzer{
+	crosstile.Analyzer,
 	detmap.Analyzer,
 	evtalloc.Analyzer,
 	fusepath.Analyzer,
@@ -51,20 +62,35 @@ var all = []*analysis.Analyzer{
 	tracehook.Analyzer,
 }
 
+// jsonDiagnostic is the machine-readable diagnostic shape emitted by -json:
+// module-relative file path plus 1-based line/column, sorted the same way as
+// the plain-text output.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a sorted JSON array on stdout")
+	unusedWaivers := flag.Bool("unused-waivers", false, "also report //lockiller: suppression comments that matched no diagnostic (advisory: does not affect exit status)")
+	inventoryOut := flag.String("crosstile-inventory", "", "write the crosstile shared-state inventory as JSON to this file")
+	writeRegistry := flag.Bool("crosstile-write-registry", false, "regenerate internal/sim/crosstile_registry.txt from the computed inventory and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: lockillerlint [-analyzers a,b] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: lockillerlint [-analyzers a,b] [-list] [-json] [-unused-waivers] [-crosstile-inventory out.json] [-crosstile-write-registry] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -103,17 +129,98 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	prog, diags, err := analysis.RunAnalyzersProgram(pkgs, analyzers)
+
+	if *writeRegistry {
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeRegistryFile(prog); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *asJSON {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     prog.RelPath(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if err != nil {
 		fatal(err)
 	}
+
+	if *inventoryOut != "" {
+		if err := writeInventory(prog, *inventoryOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *unusedWaivers {
+		for _, w := range prog.UnusedWaivers() {
+			fmt.Fprintf(os.Stderr, "lockillerlint: unused waiver //%s at %s:%d\n",
+				w.Directive, prog.RelPath(w.Pos.Filename), w.Pos.Line)
+		}
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lockillerlint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// inventoryOf pulls the crosstile inventory computed during the run; it is
+// absent when crosstile was not among the analyzers or when the load did not
+// include the simulator roots.
+func inventoryOf(prog *analysis.Program) (*crosstile.Inventory, error) {
+	v, ok := prog.PeekFact(crosstile.InventoryFact)
+	if !ok {
+		return nil, fmt.Errorf("no crosstile inventory was computed (run the crosstile analyzer over the full module, e.g. ./...)")
+	}
+	return v.(*crosstile.Inventory), nil
+}
+
+func writeInventory(prog *analysis.Program, path string) error {
+	inv, err := inventoryOf(prog)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(inv, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeRegistryFile(prog *analysis.Program) error {
+	inv, err := inventoryOf(prog)
+	if err != nil {
+		return err
+	}
+	path, err := crosstile.RegistryPathFor(prog)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, crosstile.FormatRegistry(inv), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("lockillerlint: wrote %d entries to %s\n", len(inv.Entries), prog.RelPath(path))
+	return nil
 }
 
 func fatal(err error) {

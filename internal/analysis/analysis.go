@@ -27,12 +27,16 @@ import (
 	"strings"
 )
 
-// An Analyzer is one static check. Run inspects a single package through the
-// Pass and reports diagnostics; it must not retain the Pass.
+// An Analyzer is one static check. Per-package analyzers implement Run, which
+// inspects a single package through the Pass; whole-program analyzers (those
+// that need the cross-package call graph) implement RunProgram instead, which
+// is invoked exactly once per run with the full load. An analyzer implements
+// one or the other.
 type Analyzer struct {
-	Name string // short kebab-free identifier, e.g. "detmap"
-	Doc  string // one-paragraph description of what it enforces
-	Run  func(*Pass) error
+	Name       string // short kebab-free identifier, e.g. "detmap"
+	Doc        string // one-paragraph description of what it enforces
+	Run        func(*Pass) error
+	RunProgram func(*Program) error
 }
 
 // A Pass presents one type-checked package to an Analyzer.
@@ -43,9 +47,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-load view: Facts, the waiver index, and every other
+	// package loaded in this run.
+	Prog *Program
+
 	diags   *[]Diagnostic
-	waivers map[*ast.File]map[int][]string // line -> directives on that line
-	parents map[ast.Node]ast.Node          // lazily built per pass
+	parents map[ast.Node]ast.Node // lazily built per pass
 }
 
 // A Diagnostic is one reported violation.
@@ -92,6 +99,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	                        handoff the line implements. Honored nowhere else —
 //	                        the concurrency ban stays absolute in every other
 //	                        deterministic file (see InParCoordinatorFile)
+//	//lockiller:crosstile-ok — crosstile: the cross-tile state access is
+//	                        accepted without a registry entry (e.g. provably
+//	                        dead under the current configurations); say why
+//
+// Three further directives are declarative annotations, not suppressions
+// (the stale-waiver audit ignores them):
+//
+//	//lockiller:tile-state   — on a type decl: instances are per-tile state,
+//	                        owned by the tile their SimTile() reports
+//	//lockiller:shared-state — on a type decl: a single instance is shared by
+//	                        all tiles (zero-latency cross-tile state)
+//	//lockiller:owner-dispatch — on a tile-collection index inside an
+//	                        EventOwner's OnEvent: the index equals the value
+//	                        EventTile returned for this event, so the element
+//	                        is the event's own tile, not a foreign one
 const (
 	DirectiveOrdered     = "lockiller:ordered"
 	DirectiveAllocOK     = "lockiller:alloc-ok"
@@ -100,50 +122,19 @@ const (
 	DirectiveTraceOK     = "lockiller:trace-ok"
 	DirectiveFusePathOK  = "lockiller:fusepath-ok"
 	DirectiveParOK       = "lockiller:par-ok"
+	DirectiveCrossTileOK = "lockiller:crosstile-ok"
+
+	DirectiveTileState     = "lockiller:tile-state"
+	DirectiveSharedState   = "lockiller:shared-state"
+	DirectiveOwnerDispatch = "lockiller:owner-dispatch"
 )
 
 // Waived reports whether node n is waived by the given directive: a comment
 // whose text starts with "//lockiller:<dir>" on n's starting line or the line
-// immediately above it, in the file containing n.
+// immediately above it. The lookup goes through the Program's waiver index,
+// which also marks the comment used for the stale-waiver audit.
 func (p *Pass) Waived(n ast.Node, directive string) bool {
-	if p.waivers == nil {
-		p.waivers = make(map[*ast.File]map[int][]string)
-	}
-	f := p.FileOf(n)
-	if f == nil {
-		return false
-	}
-	lines, ok := p.waivers[f]
-	if !ok {
-		lines = make(map[int][]string)
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lockiller:") {
-					continue
-				}
-				// The directive is the first word; trailing text is the
-				// human justification.
-				dir := text
-				if i := strings.IndexAny(text, " \t"); i >= 0 {
-					dir = text[:i]
-				}
-				line := p.Fset.Position(c.Pos()).Line
-				lines[line] = append(lines[line], dir)
-			}
-		}
-		p.waivers[f] = lines
-	}
-	ln := p.Fset.Position(n.Pos()).Line
-	for _, l := range []int{ln, ln - 1} {
-		for _, dir := range lines[l] {
-			if dir == directive {
-				return true
-			}
-		}
-	}
-	return false
+	return p.Prog.WaivedAt(n.Pos(), directive)
 }
 
 // FileOf returns the *ast.File of this pass containing n, or nil.
@@ -252,22 +243,49 @@ func pathTail(path string) string {
 // RunAnalyzers applies each analyzer to each loaded package and returns the
 // diagnostics sorted by file, line, column, then analyzer name.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	_, diags, err := RunAnalyzersProgram(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersProgram is RunAnalyzers exposing the Program as well, so the
+// driver can inspect run-wide state afterwards (computed facts such as the
+// crosstile inventory, and the stale-waiver audit).
+func RunAnalyzersProgram(pkgs []*Package, analyzers []*Analyzer) (*Program, []Diagnostic, error) {
 	var diags []Diagnostic
+	prog := NewProgram(pkgs)
+	prog.diags = &diags
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Prog:      prog,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
-				return diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return prog, diags, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if err := a.RunProgram(prog); err != nil {
+			return prog, diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return prog, diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -281,5 +299,4 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }

@@ -33,16 +33,32 @@ import (
 
 var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
 
-// Run loads each named fixture directory under testdata/ and applies the
-// analyzer, comparing diagnostics against the // want expectations.
-func Run(t *testing.T, analyzer *analysis.Analyzer, fixtures ...string) {
+// RunFixtures applies the analyzer to every fixture package under dir
+// (conventionally "testdata"), one subtest per subdirectory in sorted order,
+// comparing diagnostics against the // want expectations. This is the whole
+// harness an analyzer test needs:
+//
+//	func TestFoo(t *testing.T) { analysistest.RunFixtures(t, foo.Analyzer, "testdata") }
+func RunFixtures(t *testing.T, analyzer *analysis.Analyzer, dir string) {
 	t.Helper()
-	for _, fix := range fixtures {
-		fix := fix
-		t.Run(fix, func(t *testing.T) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		ran = true
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
 			t.Helper()
-			runOne(t, analyzer, filepath.Join("testdata", fix))
+			runOne(t, analyzer, filepath.Join(dir, name))
 		})
+	}
+	if !ran {
+		t.Fatalf("analysistest: no fixture directories under %s", dir)
 	}
 }
 

@@ -1,0 +1,12 @@
+package crosstile_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/crosstile"
+)
+
+func TestCrossTile(t *testing.T) {
+	analysistest.RunFixtures(t, crosstile.Analyzer, "testdata")
+}

@@ -1,0 +1,45 @@
+// Package clean mirrors the flagged fixture with every cross-tile access
+// either registered (the fixture carries its own crosstile_registry.txt),
+// waived, or resolved as own-tile by the own-index rule / the
+// owner-dispatch annotation — so the analyzer reports nothing.
+package clean
+
+//lockiller:tile-state
+type Tile struct {
+	id   int
+	hits uint64
+	hub  *Hub
+}
+
+//lockiller:shared-state
+type Lock struct {
+	held bool
+}
+
+type Hub struct {
+	tiles []*Tile
+	lock  *Lock
+}
+
+func (t *Tile) SimTile() int { return t.id }
+
+func (t *Tile) OnEvent(kind uint8, cycle uint64, data any) {
+	t.hub.tiles[t.id].hits++ // own-index rule: t.id is Tile's SimTile field
+	t.hub.lock.held = true   // registered in crosstile_registry.txt
+	//lockiller:crosstile-ok bounded handoff, serialized by design until ROADMAP 2a
+	t.hub.tiles[int(cycle)].hits++
+}
+
+// Router is an EventOwner: it handles events on behalf of the tile
+// EventTile names, so an index annotated owner-dispatch is the event's own
+// tile, not a foreign one.
+type Router struct {
+	tiles []*Tile
+}
+
+func (r *Router) EventTile(kind uint8, cycle uint64, data any) int { return int(cycle) }
+
+func (r *Router) OnEvent(kind uint8, cycle uint64, data any) {
+	//lockiller:owner-dispatch index equals the EventTile value for this event
+	r.tiles[int(cycle)].hits++
+}

@@ -1,0 +1,31 @@
+// Package flagged is a miniature mirror of the engine's ownership model —
+// tiles with per-tile state, a shared hub, a shared lock — with no registry
+// file in the fixture, so every cross-tile access class is diagnosed.
+package flagged
+
+//lockiller:tile-state
+type Tile struct {
+	id   int
+	hits uint64
+	hub  *Hub
+}
+
+//lockiller:shared-state
+type Lock struct {
+	held bool
+	wake func()
+}
+
+type Hub struct {
+	tiles []*Tile
+	lock  *Lock
+}
+
+func (t *Tile) SimTile() int { return t.id }
+
+func (t *Tile) OnEvent(kind uint8, cycle uint64, data any) {
+	t.hits++ // own-tile state: not an inventory entry
+	t.hub.lock.held = true        // want `cross-tile access not in registry: shared flagged\.Lock\.held write`
+	t.hub.tiles[int(cycle)].hits++ // want `cross-tile access not in registry: foreign flagged\.Tile\.hits write`
+	t.hub.lock.wake()             // want `cross-tile access not in registry: dyncall flagged\.Lock\.wake call`
+}

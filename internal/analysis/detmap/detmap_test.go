@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetmap(t *testing.T) {
-	analysistest.Run(t, detmap.Analyzer, "flagged", "clean", "otherpkg")
+	analysistest.RunFixtures(t, detmap.Analyzer, "testdata")
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestEvtAlloc(t *testing.T) {
-	analysistest.Run(t, evtalloc.Analyzer, "flagged", "clean", "coldpkg")
+	analysistest.RunFixtures(t, evtalloc.Analyzer, "testdata")
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestFusePath(t *testing.T) {
-	analysistest.Run(t, fusepath.Analyzer, "flagged", "clean", "otherpkg")
+	analysistest.RunFixtures(t, fusepath.Analyzer, "testdata")
 }

@@ -1,0 +1,197 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule materializes a throwaway module in a temp dir and loads every
+// package in it through the source loader.
+func writeModule(t *testing.T, files map[string]string) []*analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+func summariesOf(t *testing.T, pkgs []*analysis.Package) (*analysis.CallGraph, *analysis.Summaries) {
+	t.Helper()
+	prog := analysis.NewProgram(pkgs)
+	g, err := analysis.BuildCallGraph(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := analysis.BuildSummaries(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sums
+}
+
+func funcNode(t *testing.T, g *analysis.CallGraph, pkgs []*analysis.Package, name string) *analysis.CGNode {
+	t.Helper()
+	for _, pkg := range pkgs {
+		if obj, ok := pkg.Types.Scope().Lookup(name).(*types.Func); ok {
+			if n := g.NodeFor(obj); n != nil {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no call-graph node for %s", name)
+	return nil
+}
+
+// TestSummaryMutualRecursion pins the SCC fixpoint: two mutually recursive
+// functions each see the other's effects, the iteration converges, and
+// neither summary degrades to Unknown.
+func TestSummaryMutualRecursion(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"m/m.go": `package m
+
+type S struct{ a, b int }
+
+func A(s *S, k int) {
+	s.a = k
+	if k > 0 {
+		B(s, k-1)
+	}
+}
+
+func B(s *S, k int) {
+	s.b = k
+	if k > 0 {
+		A(s, k-1)
+	}
+}
+`,
+	})
+	g, sums := summariesOf(t, pkgs)
+	sum := sums.Of(funcNode(t, g, pkgs, "A"))
+	if sum == nil {
+		t.Fatal("no summary for A")
+	}
+	if sum.Unknown {
+		t.Fatal("mutual recursion degraded A's summary to Unknown")
+	}
+	resolved := sums.Resolve(sum, []analysis.Val{{R: analysis.RShared}, {R: analysis.RFresh}})
+	want := map[string]bool{"m.S.a": false, "m.S.b": false}
+	for _, a := range resolved {
+		if a.Kind == analysis.AWrite && a.Base.R == analysis.RShared {
+			if _, ok := want[a.Type+"."+a.Field]; ok {
+				want[a.Type+"."+a.Field] = true
+			}
+		}
+	}
+	for field, seen := range want {
+		if !seen {
+			t.Errorf("A's resolved summary is missing the shared write of %s (mutual recursion must union both halves): %+v", field, resolved)
+		}
+	}
+}
+
+// TestInterfaceDispatch pins the two halves of interface-call resolution: a
+// call with an in-load implementation binds to that method (the caller sees
+// its effects), and a call with no implementation falls back to a sound
+// dynamic/unknown effect instead of silently vanishing.
+func TestInterfaceDispatch(t *testing.T) {
+	pkgs := writeModule(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"m/m.go": `package m
+
+type I interface{ Do() }
+
+type T struct{ n int }
+
+func (t *T) Do() { t.n = 1 }
+
+func Run(i I) { i.Do() }
+
+type Ext interface{ Gone() }
+
+func RunExt(e Ext) { e.Gone() }
+`,
+	})
+	g, sums := summariesOf(t, pkgs)
+
+	run := sums.Of(funcNode(t, g, pkgs, "Run"))
+	found := false
+	for _, a := range sums.Resolve(run, []analysis.Val{{R: analysis.RShared}}) {
+		if a.Kind == analysis.AWrite && a.Type == "m.T" && a.Field == "n" && a.Base.R == analysis.RShared {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Run's summary does not see (*T).Do's write through the interface call")
+	}
+
+	ext := sums.Of(funcNode(t, g, pkgs, "RunExt"))
+	sound := false
+	for _, a := range sums.Resolve(ext, []analysis.Val{{R: analysis.RShared}}) {
+		if a.Kind == analysis.ADynCall || a.Kind == analysis.AUnknown {
+			sound = true
+		}
+	}
+	if !sound {
+		t.Errorf("RunExt's unresolvable interface call left no dynamic/unknown effect (unsound): %+v",
+			sums.Resolve(ext, []analysis.Val{{R: analysis.RShared}}))
+	}
+}
+
+// TestSummarySizeCap pins the overflow fallback: a function with more
+// distinct accesses than the cap is marked Unknown, and its callers record
+// an AUnknown effect naming it rather than a silently truncated summary.
+func TestSummarySizeCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("package m\n\n")
+	for i := 0; i < 4200; i++ {
+		fmt.Fprintf(&b, "var v%d int\n", i)
+	}
+	b.WriteString("\nfunc Big() int {\n\ts := 0\n")
+	for i := 0; i < 4200; i++ {
+		fmt.Fprintf(&b, "\ts += v%d\n", i)
+	}
+	b.WriteString("\treturn s\n}\n\nfunc Caller() int { return Big() }\n")
+	pkgs := writeModule(t, map[string]string{
+		"go.mod": "module seeded\n\ngo 1.22\n",
+		"m/m.go": b.String(),
+	})
+	g, sums := summariesOf(t, pkgs)
+
+	big := sums.Of(funcNode(t, g, pkgs, "Big"))
+	if !big.Unknown {
+		t.Fatalf("Big has %d distinct accesses, above the cap, but was not marked Unknown", 4200)
+	}
+	caller := sums.Of(funcNode(t, g, pkgs, "Caller"))
+	sound := false
+	for _, a := range sums.Resolve(caller, nil) {
+		if a.Kind == analysis.AUnknown {
+			sound = true
+		}
+	}
+	if !sound {
+		t.Error("Caller of an overflowed summary records no AUnknown effect")
+	}
+}

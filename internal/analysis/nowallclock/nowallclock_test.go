@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoWallClock(t *testing.T) {
-	analysistest.Run(t, nowallclock.Analyzer, "flagged", "clean", "parok", "simnotpar")
+	analysistest.RunFixtures(t, nowallclock.Analyzer, "testdata")
 }

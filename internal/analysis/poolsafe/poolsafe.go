@@ -10,9 +10,13 @@
 // function body: release sinks generate "freed" facts for the argument
 // variable, reassignment kills them, and branches merge by union (freed on
 // any path counts, except paths that terminate in return/break/continue).
-// Helper functions are summarized first: a function whose body passes one of
-// its parameters to a sink is itself a sink for that parameter, so a value
-// "flowing through a helper before free" is tracked one level deep.
+// Sink summaries ride the shared interprocedural layer: a whole-program
+// Facts entry (SinksFact), computed once over the analysis.CallGraph, maps
+// each function to the parameter indices it transitively releases — a
+// function whose body passes a parameter to a base sink, or to any already
+// summarized sink, is itself a sink for that parameter (fixpoint), so a
+// value "flowing through helpers before free" is tracked across packages
+// and at any depth, not one level as the pre-Facts version did.
 //
 // A flagged flow that is provably safe can be waived with //lockiller:pool-ok
 // plus a justification.
@@ -41,7 +45,10 @@ var baseSinks = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	helpers := collectHelpers(pass)
+	helpers, err := SinkSummaries(pass.Prog)
+	if err != nil {
+		return err
+	}
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
@@ -64,55 +71,77 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// collectHelpers summarizes package functions that forward a parameter to a
-// base sink: map from the function object to the parameter indices it frees.
-func collectHelpers(pass *analysis.Pass) map[types.Object][]int {
-	helpers := make(map[types.Object][]int)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || baseSinks[fd.Name.Name] {
-				continue
-			}
-			params := make(map[types.Object]int)
-			i := 0
-			for _, field := range fd.Type.Params.List {
-				for _, name := range field.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil {
-						params[obj] = i
-					}
-					i++
+// SinksFact is the Facts key under which the whole-program sink summaries
+// live: a map[*types.Func][]int from each function to the sorted parameter
+// indices it transitively releases.
+const SinksFact = "poolsafe.sinks"
+
+// SinkSummaries computes (once per run, via the Facts store) which functions
+// release which of their parameters, walking the shared call graph to a
+// fixpoint: the seed is the base sinks matched by name, and a function that
+// passes parameter i into the freed slot of any known sink is itself a sink
+// for i. Other analyzers can reuse the result through SinksFact.
+func SinkSummaries(prog *analysis.Program) (map[*types.Func][]int, error) {
+	v, err := prog.Fact(SinksFact, func(prog *analysis.Program) (any, error) {
+		g, err := analysis.BuildCallGraph(prog)
+		if err != nil {
+			return nil, err
+		}
+		sums := make(map[*types.Func][]int)
+		for changed := true; changed; {
+			changed = false
+			for _, n := range g.Nodes() {
+				if n.Obj == nil || n.Decl == nil || n.Decl.Body == nil || baseSinks[n.Obj.Name()] {
+					continue
 				}
-			}
-			if len(params) == 0 {
-				continue
-			}
-			freeSet := make(map[int]bool)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok || !isBaseSink(call) || len(call.Args) == 0 {
+				params := make(map[types.Object]int)
+				i := 0
+				for _, field := range n.Decl.Type.Params.List {
+					for _, name := range field.Names {
+						if obj := n.Pkg.Info.Defs[name]; obj != nil {
+							params[obj] = i
+						}
+						i++
+					}
+				}
+				if len(params) == 0 {
+					continue
+				}
+				freeSet := make(map[int]bool)
+				for _, idx := range sums[n.Obj] {
+					freeSet[idx] = true
+				}
+				ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+					call, ok := x.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for _, arg := range freedArgsOf(call, n.Pkg.Info, sums) {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+							if idx, ok := params[n.Pkg.Info.Uses[id]]; ok && !freeSet[idx] {
+								freeSet[idx] = true
+								changed = true
+							}
+						}
+					}
 					return true
-				}
-				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
-					if idx, ok := params[pass.TypesInfo.Uses[id]]; ok {
-						freeSet[idx] = true
+				})
+				if len(freeSet) > 0 {
+					frees := make([]int, 0, len(freeSet))
+					for idx := range freeSet {
+						frees = append(frees, idx)
 					}
-				}
-				return true
-			})
-			var frees []int
-			for idx := range freeSet {
-				frees = append(frees, idx)
-			}
-			sort.Ints(frees)
-			if len(frees) > 0 {
-				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
-					helpers[obj] = frees
+					sort.Ints(frees)
+					sums[n.Obj] = frees
 				}
 			}
 		}
+		return sums, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return helpers
+	return v.(map[*types.Func][]int), nil
 }
 
 func isBaseSink(call *ast.CallExpr) bool {
@@ -130,7 +159,7 @@ type state map[*types.Var]token.Pos
 
 func (st state) clone() state {
 	c := make(state, len(st))
-	for k, v := range st { //lockiller:ordered map copy is order-independent
+	for k, v := range st {
 		c[k] = v
 	}
 	return c
@@ -139,7 +168,7 @@ func (st state) clone() state {
 // flow analyzes one function body.
 type flow struct {
 	pass    *analysis.Pass
-	helpers map[types.Object][]int
+	helpers map[*types.Func][]int
 }
 
 // stmts runs the statement list, threading the freed-state through.
@@ -289,7 +318,7 @@ func mergeBranches(in state, branches []state, terminated []bool) state {
 		if terminated[i] {
 			continue
 		}
-		for v, pos := range b { //lockiller:ordered map union is order-independent
+		for v, pos := range b {
 			if _, ok := out[v]; !ok {
 				out[v] = pos
 			}
@@ -370,8 +399,14 @@ func (a *flow) applyFrees(e ast.Expr, st state, stmt ast.Stmt) {
 }
 
 // freedArgs returns the arguments a call releases: the first argument of a
-// base sink, or the summarized parameter slots of a package helper.
+// base sink, or the summarized parameter slots of a sink helper.
 func (a *flow) freedArgs(call *ast.CallExpr) []ast.Expr {
+	return freedArgsOf(call, a.pass.TypesInfo, a.helpers)
+}
+
+// freedArgsOf is the shared resolution used by both the flow analysis and
+// the fixpoint that builds the summaries it consults.
+func freedArgsOf(call *ast.CallExpr, info *types.Info, sums map[*types.Func][]int) []ast.Expr {
 	if isBaseSink(call) {
 		if len(call.Args) > 0 {
 			return call.Args[:1]
@@ -381,15 +416,21 @@ func (a *flow) freedArgs(call *ast.CallExpr) []ast.Expr {
 	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.SelectorExpr:
-		obj = a.pass.TypesInfo.Uses[fun.Sel]
+		obj = info.Uses[fun.Sel]
 	case *ast.Ident:
-		obj = a.pass.TypesInfo.Uses[fun]
+		obj = info.Uses[fun]
 	}
-	if obj == nil {
+	fn, ok := obj.(*types.Func)
+	if !ok {
 		return nil
 	}
+	frees := sums[fn]
+	if frees == nil {
+		// Generic instantiations summarize under their origin.
+		frees = sums[fn.Origin()]
+	}
 	var args []ast.Expr
-	for _, idx := range a.helpers[obj] {
+	for _, idx := range frees {
 		if idx < len(call.Args) {
 			args = append(args, call.Args[idx])
 		}

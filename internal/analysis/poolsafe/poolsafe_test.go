@@ -8,5 +8,5 @@ import (
 )
 
 func TestPoolSafe(t *testing.T) {
-	analysistest.Run(t, poolsafe.Analyzer, "flagged", "clean")
+	analysistest.RunFixtures(t, poolsafe.Analyzer, "testdata")
 }

@@ -1,0 +1,1198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file computes per-function access summaries over the call graph in
+// bottom-up SCC order: for every function, which fields of which types it
+// reads and writes, transitively through everything it calls, with each
+// access tagged by the *region* its base object came from. Regions make the
+// summaries compositional — a callee's "I write a field of my first
+// parameter" stays symbolic until a call site substitutes the argument's
+// region — and let the crosstile analyzer classify every transitive access
+// from an event-handler root as own-tile, cross-tile, or global-immutable
+// without re-walking any code.
+//
+// Soundness posture: the region lattice joins disagreeing values upward
+// (toward RUnknown), call substitution unions the summaries of every
+// resolved target, unresolved calls are recorded as explicit dynamic-call
+// accesses, and a function whose summary exceeds the size cap or whose SCC
+// does not converge is marked Unknown — which downstream analyzers must
+// surface, not ignore. The only deliberately non-conservative choice is that
+// calls into the standard library are treated as effect-free on model state
+// (stdlib code cannot reach the simulator's types).
+
+// A Region classifies where a value's backing object lives relative to the
+// function under analysis.
+type Region uint8
+
+const (
+	// RFresh: allocated locally (or derived from plain data); owned by the
+	// executing event.
+	RFresh Region = iota
+	// REvtOwn: the element of a tile collection selected by an
+	// owner-dispatch index — the current event's own tile by the EventTile
+	// contract.
+	REvtOwn
+	// RParam: symbolic — the i'th parameter (receiver first). Resolved at
+	// call sites and at roots.
+	RParam
+	// ROwn: the root handler's own tile state. Only materializes when a
+	// root summary is resolved (see Resolve); never stored in summaries.
+	ROwn
+	// RShared: state reachable by all tiles — a //lockiller:shared-state
+	// type, or a package-level variable.
+	RShared
+	// RForeign: another tile's state (a tile-typed element selected by an
+	// arbitrary index).
+	RForeign
+	// RUnknown: the analysis lost track; must be treated as possibly
+	// cross-tile.
+	RUnknown
+)
+
+func (r Region) String() string {
+	switch r {
+	case RFresh:
+		return "fresh"
+	case REvtOwn:
+		return "evtown"
+	case RParam:
+		return "param"
+	case ROwn:
+		return "own"
+	case RShared:
+		return "shared"
+	case RForeign:
+		return "foreign"
+	default:
+		return "unknown"
+	}
+}
+
+// A Val is an abstract value: a region plus, for RParam, the parameter
+// index, plus a human-readable provenance label ("Type.Field" of the last
+// field the value flowed through) used to describe accesses that have no
+// field of their own (e.g. an element write through a slice parameter).
+type Val struct {
+	R     Region
+	Param int
+	Label string
+}
+
+var rank = map[Region]int{
+	RFresh: 0, REvtOwn: 1, RParam: 2, ROwn: 2, RShared: 3, RForeign: 4, RUnknown: 5,
+}
+
+// join merges two abstract values flowing into the same place.
+func join(a, b Val) Val {
+	if a.R == b.R && (a.R != RParam || a.Param == b.Param) {
+		return a
+	}
+	if a.R == RFresh {
+		return b
+	}
+	if b.R == RFresh {
+		return a
+	}
+	// Two different parameters, or a parameter against a concrete region:
+	// parameter identity is lost, so go to the concrete region if there is
+	// one (over-approximating toward "cross-tile"), else to unknown.
+	if a.R == RParam && b.R == RParam {
+		return Val{R: RUnknown}
+	}
+	if rank[a.R] >= rank[b.R] {
+		return a
+	}
+	return b
+}
+
+// An AccessKind distinguishes the three summarized effects.
+type AccessKind uint8
+
+const (
+	ARead AccessKind = iota
+	AWrite
+	ADynCall // a call through a function value held in non-own state
+	AUnknown // a call into a function whose summary overflowed or diverged
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case ARead:
+		return "read"
+	case AWrite:
+		return "write"
+	case ADynCall:
+		return "call"
+	default:
+		return "unknown"
+	}
+}
+
+// An Access is one summarized effect: Kind of Type.Field through Base.
+// Type/Field may be empty when the access has no syntactic field (an element
+// write through a parameter); Base.Label then carries the provenance.
+type Access struct {
+	Kind  AccessKind
+	Type  string // qualified owner type, e.g. "htm.Arbiter"
+	Field string
+	Base  Val
+	Pos   token.Pos // first site that contributed this access
+}
+
+type accessKey struct {
+	kind  AccessKind
+	typ   string
+	field string
+	r     Region
+	param int
+}
+
+// maxAccesses caps one function's summary; beyond it the function is marked
+// Unknown (sound fallback: callers record an AUnknown access naming it). Event
+// handler roots transitively accumulate most of the model's field set, so the
+// cap sits well above the real-tree maximum (~300) while still bounding
+// runaway growth.
+const maxAccesses = 4096
+
+// maxSCCIters is the floor of the fixpoint bound for mutually recursive
+// components; the real bound scales with component size, since one round
+// propagates facts one call-edge deep and a component's diameter can approach
+// its member count (the coherence protocol's Core/L1/Bank cycle is large).
+const maxSCCIters = 8
+
+// A FuncSummary is one function's transitive access summary.
+type FuncSummary struct {
+	Node     *CGNode
+	Accesses []Access
+	Ret      Val
+	Unknown  bool
+
+	keys map[accessKey]int // -> index in Accesses
+}
+
+func (s *FuncSummary) add(a Access) {
+	if a.Base.R == RFresh || a.Base.R == REvtOwn {
+		return // own-event state: never relevant to callers
+	}
+	if s.Unknown && len(s.Accesses) >= maxAccesses {
+		return
+	}
+	k := accessKey{a.Kind, a.Type, a.Field, a.Base.R, 0}
+	if a.Base.R == RParam {
+		k.param = a.Base.Param
+	}
+	if _, ok := s.keys[k]; ok {
+		return
+	}
+	if len(s.Accesses) >= maxAccesses {
+		s.Unknown = true
+		return
+	}
+	s.keys[k] = len(s.Accesses)
+	s.Accesses = append(s.Accesses, a)
+}
+
+// Summaries holds every function's summary plus the marks and call graph
+// they were computed against.
+type Summaries struct {
+	Graph *CallGraph
+	Marks *TypeMarks
+
+	prog  *Program
+	funcs map[*CGNode]*FuncSummary
+}
+
+// SummariesFact is the Facts key for the shared summary table.
+//
+// Note on ordering: summaries bake in the call graph's edge set at build
+// time. An analyzer that attaches dynamic call edges (CallGraph.Reach) must
+// do so before first building this fact — crosstile, the primary consumer,
+// does exactly that.
+const SummariesFact = "analysis.summaries"
+
+// BuildSummaries returns the memoized summary table for prog, computing
+// every node's summary in bottom-up SCC order.
+func BuildSummaries(prog *Program) (*Summaries, error) {
+	v, err := prog.Fact(SummariesFact, func(prog *Program) (any, error) {
+		g, err := BuildCallGraph(prog)
+		if err != nil {
+			return nil, err
+		}
+		marks, err := BuildTypeMarks(prog)
+		if err != nil {
+			return nil, err
+		}
+		s := &Summaries{Graph: g, Marks: marks, prog: prog, funcs: make(map[*CGNode]*FuncSummary)}
+		for _, scc := range g.SCCOrder() {
+			s.computeSCC(scc)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Summaries), nil
+}
+
+// Of returns the summary of one node (nil if the node is unknown to the
+// table, which cannot happen for nodes of the same call graph).
+func (s *Summaries) Of(n *CGNode) *FuncSummary { return s.funcs[n] }
+
+// computeSCC computes the summaries of one strongly connected component,
+// iterating mutually recursive members to a fixpoint.
+func (s *Summaries) computeSCC(scc []*CGNode) {
+	// Deterministic member order (Tarjan pops in stack order; sort by
+	// position for stability).
+	sort.Slice(scc, func(i, j int) bool { return scc[i].Pos() < scc[j].Pos() })
+	for _, n := range scc {
+		s.funcs[n] = &FuncSummary{Node: n, keys: make(map[accessKey]int)}
+	}
+	limit := maxSCCIters
+	if len(scc) > limit {
+		limit = len(scc)
+	}
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, n := range scc {
+			fresh := s.computeOne(n)
+			old := s.funcs[n]
+			if len(fresh.Accesses) != len(old.Accesses) || fresh.Ret != old.Ret || fresh.Unknown != old.Unknown {
+				changed = true
+			}
+			s.funcs[n] = fresh
+		}
+		if !changed {
+			return
+		}
+		if iter >= limit {
+			for _, n := range scc {
+				s.funcs[n].Unknown = true
+			}
+			return
+		}
+	}
+}
+
+// computeOne builds one node's summary against the current table.
+func (s *Summaries) computeOne(n *CGNode) *FuncSummary {
+	sum := &FuncSummary{Node: n, keys: make(map[accessKey]int)}
+	w := &walker{s: s, n: n, sum: sum, env: make(map[types.Object]Val)}
+	params := paramObjs(n)
+	for i, p := range params {
+		if p != nil {
+			w.env[p] = Val{R: RParam, Param: i}
+		}
+	}
+	body := n.body()
+	if body == nil {
+		return sum
+	}
+	// Two silent passes build the local-variable environment to a fixpoint
+	// (flow-insensitive: a local's region is the join of everything ever
+	// assigned to it); the final pass records accesses.
+	for pass := 0; pass < 3; pass++ {
+		w.record = pass == 2
+		w.walkStmt(body)
+	}
+	return sum
+}
+
+func (n *CGNode) body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// paramObjs returns the node's parameter objects, receiver first. Entries
+// are nil for unnamed parameters.
+func paramObjs(n *CGNode) []*types.Var {
+	var out []*types.Var
+	add := func(fl *ast.FieldList, info *types.Info) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, name := range f.Names {
+				v, _ := info.Defs[name].(*types.Var)
+				out = append(out, v)
+			}
+		}
+	}
+	if n.Decl != nil {
+		add(n.Decl.Recv, n.Pkg.Info)
+		add(n.Decl.Type.Params, n.Pkg.Info)
+	} else {
+		add(n.Lit.Type.Params, n.Pkg.Info)
+	}
+	return out
+}
+
+// Resolve substitutes concrete parameter values into a summary, returning
+// the resolved accesses. paramVals follows paramObjs order (receiver first);
+// missing entries resolve to RFresh. This is what crosstile applies at each
+// root with the receiver bound to ROwn (tile roots) or RShared (a shared
+// EventOwner such as the coherence System).
+func (s *Summaries) Resolve(sum *FuncSummary, paramVals []Val) []Access {
+	return s.resolve(sum, paramVals, false)
+}
+
+// ResolveAll is Resolve without the own-tile filter: accesses whose base
+// substitutes to RFresh/REvtOwn/ROwn are kept (with the substituted base)
+// instead of dropped. Consumers that need the complete write set — e.g.
+// crosstile's "is this field ever written by reachable code" check — use
+// this and do their own region filtering.
+func (s *Summaries) ResolveAll(sum *FuncSummary, paramVals []Val) []Access {
+	return s.resolve(sum, paramVals, true)
+}
+
+func (s *Summaries) resolve(sum *FuncSummary, paramVals []Val, keepOwn bool) []Access {
+	out := make([]Access, 0, len(sum.Accesses))
+	for _, a := range sum.Accesses {
+		if a.Base.R == RParam {
+			v := Val{R: RFresh}
+			if a.Base.Param < len(paramVals) {
+				v = paramVals[a.Base.Param]
+			}
+			if !keepOwn && (v.R == RFresh || v.R == REvtOwn || v.R == ROwn) {
+				continue
+			}
+			if a.Type == "" && a.Base.Label == "" {
+				a.Base = Val{R: v.R, Param: v.Param, Label: v.Label}
+			} else {
+				lbl := a.Base.Label
+				a.Base = Val{R: v.R, Param: v.Param, Label: lbl}
+				if a.Base.Label == "" {
+					a.Base.Label = v.Label
+				}
+			}
+		}
+		out = append(out, a)
+	}
+	if sum.Unknown {
+		out = append(out, Access{Kind: AUnknown, Type: sum.Node.Name(), Base: Val{R: RUnknown}, Pos: sum.Node.Pos()})
+	}
+	return out
+}
+
+// --- the per-function walker ---------------------------------------------
+
+type walker struct {
+	s      *Summaries
+	n      *CGNode
+	sum    *FuncSummary
+	env    map[types.Object]Val
+	record bool
+}
+
+func (w *walker) info() *types.Info { return w.n.Pkg.Info }
+
+func (w *walker) add(kind AccessKind, typ, field string, base Val, pos token.Pos) {
+	if !w.record {
+		return
+	}
+	w.sum.add(Access{Kind: kind, Type: typ, Field: field, Base: base, Pos: pos})
+}
+
+func (w *walker) walkStmt(stmt ast.Stmt) {
+	switch st := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, s := range st.List {
+			w.walkStmt(s)
+		}
+	case *ast.ExprStmt:
+		w.eval(st.X)
+	case *ast.AssignStmt:
+		var rhs []Val
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			// Multi-value: a call/map/assert. Evaluate once; every LHS gets
+			// the joined value (map commas and asserts keep the base region;
+			// extra results of calls are data).
+			v := w.eval(st.Rhs[0])
+			for range st.Lhs {
+				rhs = append(rhs, v)
+			}
+		} else {
+			for _, r := range st.Rhs {
+				rhs = append(rhs, w.eval(r))
+			}
+		}
+		for i, lhs := range st.Lhs {
+			v := Val{R: RFresh}
+			if i < len(rhs) {
+				v = rhs[i]
+			}
+			w.assign(lhs, v)
+		}
+	case *ast.IncDecStmt:
+		w.evalWrite(st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var vals []Val
+				for _, e := range vs.Values {
+					vals = append(vals, w.eval(e))
+				}
+				for i, name := range vs.Names {
+					v := Val{R: RFresh}
+					if i < len(vals) {
+						v = vals[i]
+					} else if len(vals) == 1 && len(vs.Names) > 1 {
+						v = vals[0]
+					}
+					if obj, ok := w.info().Defs[name].(*types.Var); ok && obj != nil {
+						w.env[obj] = join(w.env[obj], v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.sumRet(w.eval(e))
+		}
+	case *ast.IfStmt:
+		w.walkStmt(st.Init)
+		w.eval(st.Cond)
+		w.walkStmt(st.Body)
+		w.walkStmt(st.Else)
+	case *ast.ForStmt:
+		w.walkStmt(st.Init)
+		if st.Cond != nil {
+			w.eval(st.Cond)
+		}
+		w.walkStmt(st.Post)
+		w.walkStmt(st.Body)
+	case *ast.RangeStmt:
+		x := w.eval(st.X)
+		elem := w.elemVal(x, st.X)
+		if st.Key != nil {
+			w.assign(st.Key, Val{R: RFresh})
+		}
+		if st.Value != nil {
+			w.assign(st.Value, elem)
+		}
+		w.walkStmt(st.Body)
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init)
+		if st.Tag != nil {
+			w.eval(st.Tag)
+		}
+		w.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkStmt(st.Assign)
+		// Per-clause implicit objects inherit the switched value's region.
+		w.walkStmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.eval(e)
+		}
+		for _, s := range st.Body {
+			w.walkStmt(s)
+		}
+	case *ast.SelectStmt:
+		w.walkStmt(st.Body)
+	case *ast.CommClause:
+		w.walkStmt(st.Comm)
+		for _, s := range st.Body {
+			w.walkStmt(s)
+		}
+	case *ast.SendStmt:
+		w.eval(st.Chan)
+		w.eval(st.Value)
+	case *ast.GoStmt:
+		w.eval(st.Call)
+	case *ast.DeferStmt:
+		w.eval(st.Call)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (w *walker) sumRet(v Val) { w.sum.Ret = join(w.sum.Ret, v) }
+
+// assign routes one assignment target: locals update the environment,
+// everything else records a write.
+func (w *walker) assign(lhs ast.Expr, v Val) {
+	lhs = unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if obj := w.objOf(id); obj != nil {
+			if isPkgLevel(obj) {
+				w.add(AWrite, pathTail(obj.Pkg().Path()), obj.Name(), Val{R: RShared}, id.Pos())
+				return
+			}
+			w.env[obj] = join(w.env[obj], v)
+			return
+		}
+		return
+	}
+	w.evalWrite(lhs)
+}
+
+func (w *walker) objOf(id *ast.Ident) types.Object {
+	if o := w.info().Defs[id]; o != nil {
+		return o
+	}
+	return w.info().Uses[id]
+}
+
+func isPkgLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// evalWrite records a write access through lhs (a selector, index, or deref
+// expression) and evaluates its base chain.
+func (w *walker) evalWrite(lhs ast.Expr) {
+	lhs = unparen(lhs)
+	switch x := lhs.(type) {
+	case *ast.SelectorExpr:
+		base, typ, field, ok := w.evalSelector(x)
+		if ok {
+			w.add(AWrite, typ, field, base, x.Sel.Pos())
+			return
+		}
+		w.eval(x)
+	case *ast.IndexExpr:
+		// Writing an element: attribute the write to the container's field
+		// when the container is itself a field selection, else to the
+		// container value's provenance label.
+		w.eval(x.Index)
+		if sel, ok := unparen(x.X).(*ast.SelectorExpr); ok {
+			base, typ, field, ok2 := w.evalSelector(sel)
+			if ok2 {
+				w.add(ARead, typ, field, base, sel.Sel.Pos())
+				w.add(AWrite, typ, field, base, x.Pos())
+				return
+			}
+		}
+		// Attribute the element write to the element's named type when it
+		// has one (so e.g. engine-queue internals carry their sim.* type
+		// instead of whatever provenance label the container value holds).
+		v := w.eval(x.X)
+		typ := qualifiedTypeName(derefType(w.typeOf(x)))
+		field := ""
+		if typ != "" {
+			field = "*"
+		}
+		w.add(AWrite, typ, field, v, x.Pos())
+	case *ast.StarExpr:
+		v := w.eval(x.X)
+		w.add(AWrite, qualifiedTypeName(derefType(w.typeOf(x.X))), "*", v, x.Pos())
+	case *ast.Ident:
+		w.assign(x, Val{R: RFresh})
+	default:
+		w.eval(lhs)
+	}
+}
+
+func (w *walker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.info().Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// evalSelector evaluates a field selection, returning the base value and the
+// qualified owner type + field name. ok is false for non-field selections
+// (package qualifiers, method values).
+func (w *walker) evalSelector(x *ast.SelectorExpr) (base Val, typ, field string, ok bool) {
+	sel, found := w.info().Selections[x]
+	if !found || sel.Kind() != types.FieldVal {
+		return Val{}, "", "", false
+	}
+	base = w.eval(x.X)
+	typ = qualifiedTypeName(derefType(w.typeOf(x.X)))
+	return base, typ, x.Sel.Name, true
+}
+
+// eval computes the abstract value of an expression, recording read accesses
+// along the way (when w.record).
+func (w *walker) eval(e ast.Expr) Val {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return w.evalIdent(x)
+	case *ast.SelectorExpr:
+		return w.evalSelectorRead(x)
+	case *ast.IndexExpr:
+		// Generic instantiation (f[T]) shows up as an index expression too.
+		if tv, ok := w.info().Types[x.X]; ok {
+			if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+				return w.eval(x.X)
+			}
+		}
+		return w.evalIndex(x)
+	case *ast.IndexListExpr:
+		return w.eval(x.X)
+	case *ast.StarExpr:
+		return w.eval(x.X)
+	case *ast.UnaryExpr:
+		return w.eval(x.X)
+	case *ast.BinaryExpr:
+		w.eval(x.X)
+		w.eval(x.Y)
+		return Val{R: RFresh}
+	case *ast.CallExpr:
+		return w.evalCall(x)
+	case *ast.TypeAssertExpr:
+		return w.eval(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.eval(kv.Value)
+			} else {
+				w.eval(el)
+			}
+		}
+		return Val{R: RFresh}
+	case *ast.SliceExpr:
+		v := w.eval(x.X)
+		if x.Low != nil {
+			w.eval(x.Low)
+		}
+		if x.High != nil {
+			w.eval(x.High)
+		}
+		if x.Max != nil {
+			w.eval(x.Max)
+		}
+		return v
+	case *ast.FuncLit:
+		// Inline-walk the literal's body here, in the defining function's
+		// environment: captured variables keep their precise regions (the
+		// receiver stays RParam(0) instead of degrading to unknown). The
+		// literal's own parameters are only known by type. Its standalone
+		// call-graph node is substituted at dynamic call sites only when this
+		// definer is unreachable, so effects are never attributed from both
+		// ends (see CallGraph.dynCandidates).
+		for _, p := range paramObjs(&CGNode{Lit: x, Pkg: w.n.Pkg}) {
+			if p != nil {
+				if _, ok := w.env[p]; !ok {
+					w.env[p] = w.typeDefault(p.Type())
+				}
+			}
+		}
+		w.walkStmt(x.Body)
+		return Val{R: RFresh}
+	case *ast.BasicLit, *ast.ArrayType, *ast.MapType, *ast.ChanType,
+		*ast.StructType, *ast.InterfaceType, *ast.FuncType:
+		return Val{R: RFresh}
+	case nil:
+		return Val{R: RFresh}
+	default:
+		return Val{R: RFresh}
+	}
+}
+
+func (w *walker) evalIdent(x *ast.Ident) Val {
+	obj := w.objOf(x)
+	switch obj := obj.(type) {
+	case *types.Var:
+		if v, ok := w.env[obj]; ok {
+			return v
+		}
+		if isPkgLevel(obj) {
+			v := Val{R: RShared, Label: pathTail(obj.Pkg().Path()) + "." + obj.Name()}
+			w.add(ARead, pathTail(obj.Pkg().Path()), obj.Name(), Val{R: RShared}, x.Pos())
+			return v
+		}
+		// A free variable of a dynamically-attached literal (its defining
+		// function is not being walked): fall back to the type's nature.
+		return w.typeDefault(obj.Type())
+	case *types.Const, *types.Nil, *types.TypeName, *types.Builtin:
+		return Val{R: RFresh}
+	case *types.Func:
+		return Val{R: RFresh}
+	}
+	return Val{R: RFresh}
+}
+
+// typeDefault is the sound region for a value we only know the type of.
+func (w *walker) typeDefault(t types.Type) Val {
+	tile, shared := w.s.Marks.KindOf(t)
+	switch {
+	case shared:
+		return Val{R: RShared}
+	case tile:
+		return Val{R: RUnknown} // some tile's state, which one is unknown
+	default:
+		return Val{R: RFresh}
+	}
+}
+
+func (w *walker) evalSelectorRead(x *ast.SelectorExpr) Val {
+	// Package-qualified name?
+	if id, ok := unparen(x.X).(*ast.Ident); ok {
+		if _, isPkg := w.objOf(id).(*types.PkgName); isPkg {
+			switch obj := w.info().Uses[x.Sel].(type) {
+			case *types.Var:
+				w.add(ARead, pathTail(obj.Pkg().Path()), obj.Name(), Val{R: RShared}, x.Sel.Pos())
+				return Val{R: RShared, Label: pathTail(obj.Pkg().Path()) + "." + obj.Name()}
+			default:
+				return Val{R: RFresh}
+			}
+		}
+	}
+	sel, found := w.info().Selections[x]
+	if !found {
+		// Qualified type or similar.
+		return Val{R: RFresh}
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		base := w.eval(x.X)
+		typ := qualifiedTypeName(derefType(w.typeOf(x.X)))
+		w.add(ARead, typ, x.Sel.Name, base, x.Sel.Pos())
+		return w.fieldVal(base, sel.Obj().Type(), typ+"."+x.Sel.Name)
+	case types.MethodVal, types.MethodExpr:
+		w.eval(x.X)
+		return Val{R: RFresh}
+	}
+	return Val{R: RFresh}
+}
+
+// fieldVal applies the region flip rules for selecting a field: a field
+// whose type is marked shared-state is shared no matter how it was reached;
+// otherwise the field inherits the base's region.
+func (w *walker) fieldVal(base Val, fieldType types.Type, label string) Val {
+	if _, shared := w.s.Marks.KindOf(fieldType); shared {
+		return Val{R: RShared, Label: label}
+	}
+	v := base
+	v.Label = label
+	return v
+}
+
+func (w *walker) evalIndex(x *ast.IndexExpr) Val {
+	base := w.eval(x.X)
+	ct := w.typeOf(x.X)
+	elem := indexElemType(ct)
+	v := w.indexVal(base, elem, x)
+	w.eval(x.Index)
+	return v
+}
+
+// elemVal is the region of an element produced by ranging over a container.
+func (w *walker) elemVal(base Val, containerExpr ast.Expr) Val {
+	elem := indexElemType(w.typeOf(containerExpr))
+	return w.indexVal(base, elem, nil)
+}
+
+// indexVal classifies container indexing. Selecting a tile-typed element by
+// an arbitrary index from anywhere yields foreign state — unless the index
+// provably equals the indexer's own tile ID (the own-index rule: the index
+// expression is p.f where p is a tile-typed parameter and f is the field its
+// SimTile() returns), or the site carries the owner-dispatch annotation
+// (the index equals the EventTile value for the event being handled).
+func (w *walker) indexVal(base Val, elem types.Type, x *ast.IndexExpr) Val {
+	if elem == nil {
+		return base
+	}
+	tile, _ := w.s.Marks.KindOf(elem)
+	if !tile {
+		v := base
+		return v
+	}
+	if x != nil {
+		if w.s.prog.DirectiveAt(x.Pos(), DirectiveOwnerDispatch) {
+			return Val{R: REvtOwn}
+		}
+		if sel, ok := unparen(x.Index).(*ast.SelectorExpr); ok {
+			if id, ok := unparen(sel.X).(*ast.Ident); ok {
+				if obj, ok := w.objOf(id).(*types.Var); ok {
+					if v, ok := w.env[obj]; ok && v.R == RParam {
+						pt := derefType(obj.Type())
+						if named, ok := pt.(*types.Named); ok {
+							if w.s.Marks.TileIDField[origin(named.Obj())] == sel.Sel.Name {
+								return Val{R: RParam, Param: v.Param}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return Val{R: RForeign, Label: base.Label}
+}
+
+func (w *walker) evalCall(call *ast.CallExpr) Val {
+	info := w.info()
+	fun := unparen(call.Fun)
+
+	// Conversion?
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return w.eval(call.Args[0])
+		}
+		return Val{R: RFresh}
+	}
+	// Builtin?
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return w.evalBuiltin(id.Name, call)
+		}
+	}
+
+	// Receiver (for method calls) and arguments.
+	var argVals []Val
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, found := info.Selections[sel]; found && s.Kind() == types.MethodVal {
+			argVals = append(argVals, w.eval(sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		argVals = append(argVals, w.eval(a))
+	}
+
+	targets := w.s.Graph.TargetsOf(call)
+	var out Val
+	out.R = RFresh
+	for _, t := range targets {
+		sum := w.s.funcs[t]
+		if sum == nil {
+			continue // same-SCC member not yet computed this iteration
+		}
+		out = join(out, w.substitute(sum, argVals, call))
+	}
+
+	if len(targets) == 0 || w.isDynSite(call) {
+		// Unresolved or heuristically-attached dynamic call: record the call
+		// through its holder so the inventory shows the indirection itself.
+		w.recordDynCall(call, fun)
+		if len(targets) == 0 {
+			out = join(out, Val{R: RUnknown})
+			// Calls to stdlib functions are effect-free on model state and
+			// return plain data.
+			if w.isStaticStdlibCall(fun) {
+				out = Val{R: RFresh}
+			}
+		}
+	}
+	return out
+}
+
+// isDynSite reports whether call was classified dynamic (possibly attached
+// candidates later).
+func (w *walker) isDynSite(call *ast.CallExpr) bool {
+	for _, d := range w.n.DynSites {
+		if d.Call == call {
+			return !d.Iface
+		}
+	}
+	return false
+}
+
+func (w *walker) isStaticStdlibCall(fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if obj, ok := w.info().Uses[f].(*types.Func); ok {
+			return obj.Pkg() == nil || !w.inLoad(obj.Pkg())
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := w.info().Uses[f.Sel].(*types.Func); ok {
+			sig := funcSig(obj)
+			if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				return false
+			}
+			return obj.Pkg() == nil || !w.inLoad(obj.Pkg())
+		}
+	}
+	return false
+}
+
+func (w *walker) inLoad(p *types.Package) bool {
+	for _, pkg := range w.s.prog.Pkgs {
+		if pkg.Types == p {
+			return true
+		}
+	}
+	return false
+}
+
+// recordDynCall records an ADynCall access for a call through a function
+// value held in non-own state.
+func (w *walker) recordDynCall(call *ast.CallExpr, fun ast.Expr) {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, found := w.info().Selections[f]; found && sel.Kind() == types.FieldVal {
+			base := w.eval(f.X)
+			typ := qualifiedTypeName(derefType(w.typeOf(f.X)))
+			w.add(ADynCall, typ, f.Sel.Name, base, f.Sel.Pos())
+			return
+		}
+		if obj, ok := w.info().Uses[f.Sel].(*types.Func); ok {
+			sig := funcSig(obj)
+			if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				// Interface call with no in-load implementation.
+				base := w.eval(f.X)
+				w.add(ADynCall, qualifiedTypeName(derefType(w.typeOf(f.X))), f.Sel.Name, base, f.Sel.Pos())
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := w.objOf(f).(*types.Var); ok {
+			v, tracked := w.env[obj]
+			if !tracked {
+				v = w.typeDefault(obj.Type())
+				if isPkgLevel(obj) {
+					v = Val{R: RShared}
+				}
+			}
+			if v.Label != "" {
+				// The provenance label ("Type.Field" the value flowed out
+				// of) names the indirection better than the local's name.
+				w.add(ADynCall, "", "", v, f.Pos())
+				return
+			}
+			w.add(ADynCall, "", f.Name, v, f.Pos())
+		}
+	default:
+		v := w.eval(fun)
+		w.add(ADynCall, "", "", v, call.Pos())
+	}
+}
+
+// substitute merges a callee summary into the current one, mapping the
+// callee's symbolic parameter regions to the call site's argument values
+// (receiver first, matching paramObjs order).
+func (w *walker) substitute(sum *FuncSummary, argVals []Val, call *ast.CallExpr) Val {
+	for _, a := range sum.Accesses {
+		if a.Base.R == RParam {
+			v := Val{R: RFresh}
+			if a.Base.Param < len(argVals) {
+				v = argVals[a.Base.Param]
+			}
+			if v.R == RFresh || v.R == REvtOwn {
+				continue
+			}
+			na := a
+			na.Base = v
+			if na.Base.Label == "" {
+				na.Base.Label = a.Base.Label
+			}
+			w.add(na.Kind, na.Type, na.Field, na.Base, na.Pos)
+			continue
+		}
+		w.add(a.Kind, a.Type, a.Field, a.Base, a.Pos)
+	}
+	if sum.Unknown {
+		w.add(AUnknown, sum.Node.Name(), "", Val{R: RUnknown}, call.Pos())
+	}
+	ret := sum.Ret
+	if ret.R == RParam {
+		if ret.Param < len(argVals) {
+			r := argVals[ret.Param]
+			return r
+		}
+		return Val{R: RFresh}
+	}
+	return ret
+}
+
+func (w *walker) evalBuiltin(name string, call *ast.CallExpr) Val {
+	switch name {
+	case "append":
+		var v Val
+		v.R = RFresh
+		for i, a := range call.Args {
+			av := w.eval(a)
+			if i == 0 {
+				v = av
+			}
+		}
+		return v
+	case "delete", "clear":
+		if len(call.Args) > 0 {
+			w.evalWrite(call.Args[0])
+			for _, a := range call.Args[1:] {
+				w.eval(a)
+			}
+		}
+		return Val{R: RFresh}
+	case "copy":
+		if len(call.Args) == 2 {
+			w.evalWrite(call.Args[0])
+			w.eval(call.Args[1])
+		}
+		return Val{R: RFresh}
+	default:
+		for _, a := range call.Args {
+			w.eval(a)
+		}
+		return Val{R: RFresh}
+	}
+}
+
+// --- type helpers ---------------------------------------------------------
+
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// indexElemType returns the element type produced by indexing or ranging
+// over t, or nil when t is not a container.
+func indexElemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := derefType(t).Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Map:
+		return u.Elem()
+	case *types.Chan:
+		return u.Elem()
+	}
+	return nil
+}
+
+// qualifiedTypeName renders a named type as "pkg.Name" ("" for unnamed).
+func qualifiedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := origin(named.Obj())
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return pathTail(obj.Pkg().Path()) + "." + obj.Name()
+}
+
+func origin(tn *types.TypeName) *types.TypeName {
+	if named, ok := tn.Type().(*types.Named); ok {
+		return named.Origin().Obj()
+	}
+	return tn
+}
+
+// --- type marks -----------------------------------------------------------
+
+// TypeMarks indexes the declarative state annotations:
+//
+//	//lockiller:tile-state   on Core, L1, Bank — per-tile state
+//	//lockiller:shared-state on System, Machine, Arbiter, ... — one instance
+//	                         shared by all tiles
+//
+// plus, for each tile type, the name of the field its SimTile() method
+// returns (the own-index rule's witness).
+type TypeMarks struct {
+	Tile        map[*types.TypeName]bool
+	Shared      map[*types.TypeName]bool
+	TileIDField map[*types.TypeName]string
+}
+
+// TypeMarksFact is the Facts key for the annotation index.
+const TypeMarksFact = "analysis.typemarks"
+
+// BuildTypeMarks returns the memoized annotation index for prog.
+func BuildTypeMarks(prog *Program) (*TypeMarks, error) {
+	v, err := prog.Fact(TypeMarksFact, func(prog *Program) (any, error) {
+		m := &TypeMarks{
+			Tile:        make(map[*types.TypeName]bool),
+			Shared:      make(map[*types.TypeName]bool),
+			TileIDField: make(map[*types.TypeName]string),
+		}
+		for _, pkg := range prog.Pkgs {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					switch d := decl.(type) {
+					case *ast.GenDecl:
+						if d.Tok != token.TYPE {
+							continue
+						}
+						for _, spec := range d.Specs {
+							ts, ok := spec.(*ast.TypeSpec)
+							if !ok {
+								continue
+							}
+							tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+							if !ok {
+								continue
+							}
+							pos := ts.Pos()
+							if len(d.Specs) == 1 {
+								pos = d.Pos()
+							}
+							if prog.DirectiveAt(pos, DirectiveTileState) {
+								m.Tile[tn] = true
+							}
+							if prog.DirectiveAt(pos, DirectiveSharedState) {
+								m.Shared[tn] = true
+							}
+						}
+					case *ast.FuncDecl:
+						// SimTile() int { return x.f } — record f as the
+						// tile-ID field of the receiver type.
+						if d.Name.Name != "SimTile" || d.Recv == nil || d.Body == nil || len(d.Body.List) != 1 {
+							continue
+						}
+						ret, ok := d.Body.List[0].(*ast.ReturnStmt)
+						if !ok || len(ret.Results) != 1 {
+							continue
+						}
+						sel, ok := unparen(ret.Results[0]).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+						if !ok {
+							continue
+						}
+						recv := derefType(funcSig(obj).Recv().Type())
+						if named, ok := recv.(*types.Named); ok {
+							m.TileIDField[origin(named.Obj())] = sel.Sel.Name
+						}
+					}
+				}
+			}
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*TypeMarks), nil
+}
+
+// KindOf reports whether t (after pointer deref) is a tile-state or
+// shared-state annotated type.
+func (m *TypeMarks) KindOf(t types.Type) (tile, shared bool) {
+	if t == nil {
+		return false, false
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false, false
+	}
+	tn := origin(named.Obj())
+	return m.Tile[tn], m.Shared[tn]
+}

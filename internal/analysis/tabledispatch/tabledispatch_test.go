@@ -8,5 +8,5 @@ import (
 )
 
 func TestTableDispatch(t *testing.T) {
-	analysistest.Run(t, tabledispatch.Analyzer, "flagged", "clean", "otherpkg")
+	analysistest.RunFixtures(t, tabledispatch.Analyzer, "testdata")
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestTraceHook(t *testing.T) {
-	analysistest.Run(t, tracehook.Analyzer, "flagged", "clean", "coldpkg")
+	analysistest.RunFixtures(t, tracehook.Analyzer, "testdata")
 }

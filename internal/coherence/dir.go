@@ -55,6 +55,7 @@ func (d *dirLine) isSharer(c int) bool { return d.sharers&(1<<uint(c)) != 0 }
 // The bank at tile 0 additionally hosts the centralized HTMLock arbiter
 // (paper §III-C: "our approach of LLC's authorization seamlessly extends
 // to distributed LLCs by adding a lightweight centralized arbiter module").
+//lockiller:tile-state
 type Bank struct {
 	sys *System
 	id  int

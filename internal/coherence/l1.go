@@ -47,6 +47,7 @@ type mshr struct {
 
 // L1 is a private L1 cache controller with best-effort HTM support and the
 // three LockillerTM mechanisms.
+//lockiller:tile-state
 type L1 struct {
 	sys  *System
 	core int

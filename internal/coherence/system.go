@@ -60,6 +60,7 @@ func (p Params) Validate() {
 
 // System is the assembled memory subsystem: one L1 and one LLC bank per
 // tile, connected by the mesh, plus the HTMLock arbiter when enabled.
+//lockiller:shared-state
 type System struct {
 	Params
 	HTM     htm.Config
@@ -149,9 +150,9 @@ func (s *System) OnEvent(kind uint8, _ uint64, p any) {
 	case evDeliver:
 		m := p.(*Msg)
 		if m.toBank() {
-			s.Banks[m.Dst].Receive(m)
+			s.Banks[m.Dst].Receive(m) //lockiller:owner-dispatch EventTile returned m.Dst for evDeliver
 		} else {
-			s.L1s[m.Dst].Receive(m)
+			s.L1s[m.Dst].Receive(m) //lockiller:owner-dispatch EventTile returned m.Dst for evDeliver
 		}
 	case evSend:
 		s.route(p.(*Msg))

@@ -13,6 +13,7 @@ import (
 // Core is one hardware thread: an in-order, single-issue core bound to one
 // L1 cache, executing its thread program section by section. It implements
 // coherence.Client so the L1 can notify it of asynchronous aborts.
+//lockiller:tile-state
 type Core struct {
 	m    *Machine
 	id   int

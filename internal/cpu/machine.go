@@ -107,6 +107,7 @@ func (c Config) Defaults() Config {
 
 // Machine is an assembled simulation: memory subsystem, cores, fallback
 // lock, and barrier.
+//lockiller:shared-state
 type Machine struct {
 	Cfg     Config
 	Engine  *sim.Engine

@@ -39,6 +39,7 @@ func DefaultConfig() Config {
 }
 
 // Network delivers messages between tiles of a mesh.
+//lockiller:shared-state
 type Network struct {
 	engine *sim.Engine
 	mesh   topology.Mesh

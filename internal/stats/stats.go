@@ -117,6 +117,7 @@ func (c *Core) TotalCycles() uint64 {
 }
 
 // Run aggregates a whole simulation's results.
+//lockiller:shared-state
 type Run struct {
 	System   string
 	Workload string
