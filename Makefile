@@ -54,19 +54,21 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# Run the scheduler + full-simulator benchmarks and write BENCH_5.json
+# Run the scheduler + full-simulator benchmarks and write BENCH_6.json
 # (ns/op, B/op, allocs/op per benchmark). BENCH_1.json is the pre-refactor
 # baseline, BENCH_2.json the table-driven protocol engine, BENCH_3.json the
 # telemetry layer, BENCH_4.json the event-fusion fast path + allocation
 # cleanup, BENCH_5.json the sharded tile-parallel engine (adds
 # ParallelSimulatorThroughput; compare it against SimulatorThroughput in the
-# same file — the ratio is only meaningful on a 4+-CPU host). Compare
+# same file — the ratio is only meaningful on a 4+-CPU host), BENCH_6.json
+# the scalable-machine refactor (adds ScalingCores/{32,64,128,256}, whose
+# metric of record is ns per simulated core-cycle). Compare
 # SimulatorThroughput across files and TelemetryDisabledOverhead against
 # SimulatorThroughput within a file (< 2% budget for the disabled telemetry
 # hooks). scripts/bench_compare.sh diffs a fresh run against the newest
 # committed BENCH_*.json.
 bench:
-	sh scripts/bench.sh BENCH_5.json
+	sh scripts/bench.sh BENCH_6.json
 
 # Regression guard: fresh bench run compared against the newest committed
 # BENCH_*.json (±15% per benchmark; FusedHitChain must stay 0 allocs/op).

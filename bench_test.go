@@ -9,9 +9,11 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/cpu"
@@ -359,6 +361,40 @@ func BenchmarkSignatureAdd(b *testing.B) {
 		if i%4096 == 0 {
 			s.Clear()
 		}
+	}
+}
+
+// BenchmarkScalingCores measures the simulator's cost per simulated
+// core-cycle as the machine grows (DESIGN.md §13): same workload and
+// thread count at every point, so the sweep isolates what an idle-or-busy
+// tile costs. The metric of record is ns/core-cycle — flat across the
+// sweep means machine size adds nothing beyond the extra tiles; machines
+// above 64 cores run the two-level directory (clusters of 16), matching
+// the harness's ScalingSpec shape.
+func BenchmarkScalingCores(b *testing.B) {
+	wl := stamp.Intruder()
+	sys, _ := harness.SystemByName("LockillerTM")
+	for _, cores := range []int{32, 64, 128, 256} {
+		cores := cores
+		b.Run(fmt.Sprint(cores), func(b *testing.B) {
+			var cycles uint64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				s := harness.Spec{System: sys, Workload: wl, Threads: 8,
+					Cache: harness.TypicalCache(), Seed: 1, Cores: cores}
+				if cores > 64 {
+					s.ClusterSize = 16
+				}
+				res, err := harness.Execute(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.ExecCycles
+			}
+			elapsed := float64(time.Since(start).Nanoseconds())
+			b.ReportMetric(elapsed/(float64(cycles)*float64(cores)), "ns/core-cycle")
+			b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+		})
 	}
 }
 

@@ -32,6 +32,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of text")
 	chart := flag.Bool("chart", false, "render ASCII charts after the text tables")
 	check := flag.Bool("check", false, "evaluate the paper's qualitative claims (PASS/FAIL) and exit")
+	scaling := flag.Bool("scaling", false, "run the core-count scaling sweep (threads = cores, 32..256)")
+	scalingWl := flag.String("scaling-workload", "intruder", "workload for the -scaling sweep")
 	cacheFile := flag.String("results", "", "persist simulation results to this JSON file (loaded first, saved after)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -112,6 +114,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("all claims PASS")
+	case *scaling:
+		wl, err := stamp.ByName(*scalingWl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			os.Exit(1)
+		}
+		cores := harness.ScalingCores
+		if *quick {
+			cores = []int{32, 64}
+		}
+		f, err := harness.RunFigScaling(r, wl, cores)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			os.Exit(1)
+		}
+		f.Render(os.Stdout)
 	case *table == 1:
 		harness.RenderTable1(os.Stdout)
 	case *table == 2:

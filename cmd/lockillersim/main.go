@@ -14,7 +14,6 @@ import (
 	"os"
 	"strconv"
 
-	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/harness"
 	"repro/internal/htm"
@@ -44,6 +43,9 @@ func main() {
 	hotLines := flag.Int("hot-lines", 16, "number of hottest conflict lines to report")
 	fuse := flag.String("fuse", "on", "event-fusion fast path: on or off (results are identical; off is a diagnostic mode)")
 	par := flag.String("par", "off", "sharded tile-parallel engine: worker count N, or 'off' for the sequential oracle (results are bit-for-bit identical either way)")
+	cores := flag.Int("cores", 0, "scale the machine to N cores on a near-square grid (0 = Table I's 32)")
+	topo := flag.String("topo", "", "interconnect topology: mesh, torus, or cmesh (default: Table I's mesh)")
+	cluster := flag.Int("cluster", 0, "two-level directory cluster size (0 = flat directory)")
 	flag.Parse()
 
 	var disableFusion bool
@@ -107,8 +109,14 @@ func main() {
 		}
 		tracer = trace.New(*traceN, cats)
 	}
+	switch *topo {
+	case "", "mesh", "torus", "cmesh":
+	default:
+		fatal(fmt.Errorf("unknown -topo value %q (want mesh, torus, or cmesh)", *topo))
+	}
 	spec := harness.Spec{System: sys, Workload: wl, Threads: *threads, Cache: cache, Seed: *seed,
-		DisableFusion: disableFusion, Par: parN}
+		DisableFusion: disableFusion, Par: parN,
+		Cores: *cores, Topo: *topo, ClusterSize: *cluster}
 	if *exportPath != "" {
 		f, err := os.Create(*exportPath)
 		if err != nil {
@@ -149,6 +157,18 @@ func main() {
 	}
 	fmt.Printf("system    : %s\nworkload  : %s\nthreads   : %d\ncache     : %s\nengine    : %s\n",
 		sys.Name, wl.Name, *threads, cache.Name, engineDesc)
+	if *cores > 0 || *topo != "" || *cluster > 0 {
+		p := spec.MachineParams()
+		kind := p.Topo
+		if kind == "" {
+			kind = "mesh"
+		}
+		fmt.Printf("machine   : %d cores, %s %dx%d", p.Cores, kind, p.MeshW, p.MeshH)
+		if p.ClusterSize > 0 {
+			fmt.Printf(", two-level directory (clusters of %d)", p.ClusterSize)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("cycles    : %d\nsections  : %d\ncommitrate: %.4f\n",
 		run.ExecCycles, run.Sections(), run.CommitRate())
 	total, by := run.TotalAborts()
@@ -215,9 +235,7 @@ func writeFile(path string, write func(*os.File) error) error {
 // runCustom executes a spec with non-standard machine options (replayed
 // programs and/or the three-level protocol organization).
 func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry, importPath string, threeLevel bool) (*stats.Run, error) {
-	p := coherence.DefaultParams()
-	p.L1Size = spec.Cache.L1Size
-	p.LLCSize = spec.Cache.LLCSize
+	p := spec.MachineParams()
 	if threeLevel {
 		p.MidSize, p.MidWays = 64*1024, 8
 	}

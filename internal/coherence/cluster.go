@@ -1,0 +1,213 @@
+package coherence
+
+// Two-level directory mode (Params.ClusterSize > 0): instead of the home
+// bank invalidating every remote sharer itself — which serializes 255 sends
+// through one tile on a 256-core GetM over sharers — the machine is carved
+// into clusters of ClusterSize consecutive tiles, and the home delegates
+// each remote cluster's fanout to a collector bank inside that cluster
+// (one MsgClInv out, one MsgClInvDone back per cluster). The collector
+// fans MsgInv to its cluster's sharers, gathers their InvAck/InvReject
+// replies, and reports the aggregate. Semantics match the flat directory:
+// only acked sharers are dropped from the sharer set, any rejection
+// withdraws the request, and the first rejection to arrive at the home (in
+// deterministic delivery order) names the winner. Back-invalidation
+// recalls stay flat-fanout — they are rare, and clusters only relieve the
+// GetM-over-sharers hot path (DESIGN.md §13).
+//
+// The collector's per-line round state lives outside the directory table
+// (the line is homed at a different bank); its decisions dispatch through
+// the bank.clinv protocol table like every other protocol choice.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/coherence/proto"
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// clusterCollect is one in-flight collector round.
+type clusterCollect struct {
+	line         mem.Line
+	left         int    // replies outstanding
+	ackMask      uint64 // cluster-relative cores that acked
+	rejected     bool
+	rejectorMode htm.Mode
+	rejector     int
+	home         int // home bank awaiting the MsgClInvDone
+	requester    int
+}
+
+// clustered reports whether the two-level directory is active.
+func (s *System) clustered() bool {
+	return s.ClusterSize > 0 && s.ClusterSize < s.Cores
+}
+
+// clusterOf returns the cluster index of a tile.
+func (s *System) clusterOf(tile int) int { return tile / s.ClusterSize }
+
+// collectorBank returns the bank that collects invalidations for a line in
+// a cluster. Spreading by line keeps one hot line from serializing a whole
+// cluster's rounds on a single bank; the choice is a pure function of
+// (line, cluster), so replay is deterministic.
+func (s *System) collectorBank(l mem.Line, cluster int) int {
+	return cluster*s.ClusterSize + int(uint64(l)%uint64(s.ClusterSize))
+}
+
+// findCollect returns the index of the bank's collector round for the line,
+// or -1. Rounds in flight per bank are few; a linear scan beats any keyed
+// structure here and is trivially deterministic.
+func (b *Bank) findCollect(l mem.Line) int {
+	for i := range b.collects {
+		if b.collects[i].line == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// clusterRole classifies a message for the collector dispatch: ok reports
+// that the bank.clinv table owns it. A ClInv always enters (its state says
+// whether a round already exists — overlapping rounds are a declared
+// protocol violation); an InvAck/InvReject enters only when a round for its
+// line is open, because the same bank receives home-role invalidation
+// replies for lines it homes itself. A collector round and a home-role
+// service round can never collide on one line: collectors sit outside the
+// line's home cluster by construction.
+func (b *Bank) clusterRole(m *Msg) (s proto.State, ok bool) {
+	isReply := m.Type == MsgInvAck || m.Type == MsgInvReject
+	if m.Type != MsgClInv && !isReply {
+		return 0, false
+	}
+	idx := b.findCollect(m.Line)
+	if m.Type == MsgClInv {
+		if idx >= 0 {
+			return clCollecting, true
+		}
+		return clIdle, true
+	}
+	if idx < 0 {
+		return 0, false // home-role reply: normal bank.receive path
+	}
+	return clCollecting, true
+}
+
+// startCollect opens a collector round for a MsgClInv: fan MsgInv to every
+// masked core of this cluster in ascending order, mirroring the home's own
+// fanout order.
+func (b *Bank) startCollect(m *Msg) {
+	if m.Mask == 0 {
+		panic(fmt.Sprintf("coherence: empty ClInv mask for line %d", m.Line))
+	}
+	b.ClusterRounds++
+	base := b.sys.clusterOf(b.id) * b.sys.ClusterSize
+	left := 0
+	for rel := 0; rel < b.sys.ClusterSize; rel++ {
+		if m.Mask&(1<<uint(rel)) == 0 {
+			continue
+		}
+		left++
+		b.send(Msg{Type: MsgInv, Line: m.Line, Dst: base + rel,
+			Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
+	}
+	b.collects = append(b.collects, clusterCollect{
+		line: m.Line, left: left, home: m.Src, requester: m.Requester,
+	})
+}
+
+// collectClusterAck records one sharer's invalidation in the open round.
+func (b *Bank) collectClusterAck(m *Msg) {
+	i := b.findCollect(m.Line)
+	c := &b.collects[i]
+	c.ackMask |= 1 << uint(m.Src-b.sys.clusterOf(b.id)*b.sys.ClusterSize)
+	b.finishCollectReply(i)
+}
+
+// collectClusterReject records a sharer that kept its copy (won
+// arbitration). Matching the flat directory's last-writer-wins bookkeeping,
+// the latest rejection to arrive overwrites the recorded winner.
+func (b *Bank) collectClusterReject(m *Msg) {
+	i := b.findCollect(m.Line)
+	c := &b.collects[i]
+	c.rejected = true
+	c.rejectorMode = m.RejectorMode
+	c.rejector = m.Rejector
+	b.finishCollectReply(i)
+}
+
+// finishCollectReply closes the round once every fanned-out invalidation
+// answered, reporting the aggregate to the home bank.
+func (b *Bank) finishCollectReply(i int) {
+	c := &b.collects[i]
+	c.left--
+	if c.left > 0 {
+		return
+	}
+	b.send(Msg{Type: MsgClInvDone, Line: c.line, Dst: c.home,
+		Requester: c.requester, Mask: c.ackMask,
+		Rejected: c.rejected, RejectorMode: c.rejectorMode, Rejector: c.rejector})
+	b.collects = append(b.collects[:i], b.collects[i+1:]...)
+}
+
+// fanoutInvClustered is fanoutInv's two-level variant: own-cluster sharers
+// get direct MsgInv, each remote cluster with sharers gets one MsgClInv
+// carrying the cluster-relative target mask. The single ascending pass over
+// the sharer set emits a cluster's ClInv right after its last sharer, so
+// send order is a pure function of the sharer set.
+func (b *Bank) fanoutInvClustered(d *dirLine, m *Msg) {
+	sys := b.sys
+	own := sys.clusterOf(b.id)
+	n := 0 // direct sends + remote-cluster rounds
+	pendingCluster := -1
+	var pendingMask uint64
+	flush := func() {
+		if pendingCluster < 0 {
+			return
+		}
+		n++
+		b.send(Msg{Type: MsgClInv, Line: m.Line,
+			Dst:       sys.collectorBank(m.Line, pendingCluster),
+			Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode,
+			Mask: pendingMask})
+		pendingCluster = -1
+		pendingMask = 0
+	}
+	for c, ok := d.sharers.Next(-1); ok; c, ok = d.sharers.Next(c) {
+		if c == m.Requester {
+			continue
+		}
+		cl := sys.clusterOf(c)
+		if cl == own {
+			flush()
+			n++
+			b.send(Msg{Type: MsgInv, Line: m.Line, Dst: c,
+				Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
+			continue
+		}
+		if cl != pendingCluster {
+			flush()
+			pendingCluster = cl
+		}
+		pendingMask |= 1 << uint(c-cl*sys.ClusterSize)
+	}
+	flush()
+	d.pend.invAcksLeft = n
+}
+
+// collectClusterDone folds a collector's aggregate into the home's pending
+// round: acked sharers leave the sharer set (rejectors keep their copies,
+// exactly as in the flat protocol), a rejection withdraws the request, and
+// the whole cluster counts as one outstanding reply.
+func (b *Bank) collectClusterDone(d *dirLine, m *Msg) {
+	base := b.sys.clusterOf(m.Src) * b.sys.ClusterSize
+	for mask := m.Mask; mask != 0; mask &= mask - 1 {
+		d.dropSharer(base + bits.TrailingZeros64(mask))
+	}
+	if m.Rejected {
+		d.pend.rejected = true
+		d.pend.rejectorMode = m.RejectorMode
+		d.pend.rejector = m.Rejector
+	}
+	b.finishInvRound(d)
+}

@@ -2,7 +2,6 @@ package coherence
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/coherence/proto"
@@ -28,7 +27,7 @@ type dirLine struct {
 	line    mem.Line // key, for the open-addressed dirTable
 	state   dirState
 	owner   int
-	sharers uint64 // bitset of sharer cores
+	sharers SharerSet // which cores hold S copies (see sharerset.go)
 
 	busy  bool
 	queue []*Msg
@@ -46,10 +45,10 @@ type pending struct {
 	evictCont    func()
 }
 
-func (d *dirLine) addSharer(c int)     { d.sharers |= 1 << uint(c) }
-func (d *dirLine) dropSharer(c int)    { d.sharers &^= 1 << uint(c) }
-func (d *dirLine) sharerCount() int    { return bits.OnesCount64(d.sharers) }
-func (d *dirLine) isSharer(c int) bool { return d.sharers&(1<<uint(c)) != 0 }
+func (d *dirLine) addSharer(c int)     { d.sharers.Add(c) }
+func (d *dirLine) dropSharer(c int)    { d.sharers.Drop(c) }
+func (d *dirLine) sharerCount() int    { return d.sharers.Count() }
+func (d *dirLine) isSharer(c int) bool { return d.sharers.Contains(c) }
 
 // Bank is one tile's slice of the shared LLC plus its directory controller.
 // The bank at tile 0 additionally hosts the centralized HTMLock arbiter
@@ -66,8 +65,13 @@ type Bank struct {
 	// request, which is hot enough to pool).
 	pendFree []*pending
 
+	// collects holds this bank's open cluster-collector rounds (two-level
+	// directory only, see cluster.go).
+	collects []clusterCollect
+
 	// Stats.
 	Requests, Rejections, Nacks, MemFetches, BackInvals uint64
+	ClusterRounds                                       uint64
 }
 
 func newBank(sys *System, id int, sizeBytes, ways int) *Bank {
@@ -161,6 +165,13 @@ func (b *Bank) Receive(m *Msg) { b.dispatch(m, false) }
 // queued marks a re-dispatch from the blocked queue (drainQueue), which
 // skips the request count already charged at first receipt.
 func (b *Bank) dispatch(m *Msg, queued bool) {
+	if b.sys.clustered() {
+		if cs, ok := b.clusterRole(m); ok {
+			bankClusterTable.Dispatch(proto.State(cs), proto.Event(m.Type),
+				clusterCtx{b: b, m: m}, b.sys.fired[tblBankCluster])
+			return
+		}
+	}
 	d := b.dir.lookup(m.Line)
 	s := bkIdle
 	if d != nil && d.busy {
@@ -223,15 +234,22 @@ func (b *Bank) serviceWithData(d *dirLine, m *Msg) {
 }
 
 // fanoutInv invalidates every sharer but the requester (GetM over sharers);
-// the guard guarantees at least one target.
+// the guard guarantees at least one target. Iteration is strictly ascending
+// by core id (SharerSet.Next), matching the old full 0..Cores scan's send
+// order bit for bit.
 func (b *Bank) fanoutInv(d *dirLine, m *Msg) {
+	if b.sys.clustered() {
+		b.fanoutInvClustered(d, m)
+		return
+	}
 	n := 0
-	for c := 0; c < b.sys.Cores; c++ {
-		if c != m.Requester && d.isSharer(c) {
-			n++
-			b.send(Msg{Type: MsgInv, Line: m.Line, Dst: c,
-				Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
+	for c, ok := d.sharers.Next(-1); ok; c, ok = d.sharers.Next(c) {
+		if c == m.Requester {
+			continue
 		}
+		n++
+		b.send(Msg{Type: MsgInv, Line: m.Line, Dst: c,
+			Requester: m.Requester, Prio: m.Prio, ReqMode: m.ReqMode, Write: true})
 	}
 	d.pend.invAcksLeft = n
 }
@@ -300,14 +318,14 @@ func (b *Bank) takeOwnerData(d *dirLine, m *Msg) {
 		old := d.owner
 		d.state = dirS
 		d.owner = -1
-		d.sharers = 0
+		d.sharers.Clear()
 		d.addSharer(old)
 		b.sendData(d, MsgDataS)
 		return
 	}
 	d.state = dirI
 	d.owner = -1
-	d.sharers = 0
+	d.sharers.Clear()
 	b.sendData(d, MsgDataE)
 }
 
@@ -321,7 +339,7 @@ func (b *Bank) ownerNacked(d *dirLine, m *Msg) {
 	}
 	d.state = dirI
 	d.owner = -1
-	d.sharers = 0
+	d.sharers.Clear()
 	b.sendData(d, MsgDataE)
 }
 
@@ -368,7 +386,7 @@ func (b *Bank) commitUnblock(d *dirLine, m *Msg) {
 	if m.Excl {
 		d.state = dirEM
 		d.owner = m.Src
-		d.sharers = 0
+		d.sharers.Clear()
 	} else {
 		d.state = dirS
 		d.owner = -1
@@ -389,7 +407,7 @@ func (b *Bank) handlePut(d *dirLine, m *Msg) {
 	}
 	d.state = dirI
 	d.owner = -1
-	d.sharers = 0
+	d.sharers.Clear()
 }
 
 // arbiter returns the HTMLock arbiter hosted at this bank's tile, panicking
@@ -516,11 +534,13 @@ func (b *Bank) backInvalidate(l mem.Line, cont func()) {
 	if b.sys.Tracer.Enabled(trace.CatProto) {
 		b.sys.Tracer.Emitf(b.id, trace.CatProto, l, "back-invalidation")
 	}
-	targets := d.sharers
+	// Recall targets: the owner under dirEM, every sharer under dirS —
+	// sent in ascending core order either way (SharerSet.Next), matching
+	// the old full 0..Cores scan bit for bit.
+	n := d.sharerCount()
 	if d.state == dirEM {
-		targets = 1 << uint(d.owner)
+		n = 1
 	}
-	n := bits.OnesCount64(targets)
 	if n == 0 {
 		b.dir.remove(l)
 		cont()
@@ -530,10 +550,12 @@ func (b *Bank) backInvalidate(l mem.Line, cont func()) {
 	d.pend = b.newPending()
 	d.pend.evictAcks = n
 	d.pend.evictCont = cont
-	for c := 0; c < b.sys.Cores; c++ {
-		if targets&(1<<uint(c)) != 0 {
-			b.send(Msg{Type: MsgInv, Line: l, Dst: c, Requester: -1, ReqMode: htm.NonTx})
-		}
+	if d.state == dirEM {
+		b.send(Msg{Type: MsgInv, Line: l, Dst: d.owner, Requester: -1, ReqMode: htm.NonTx})
+		return
+	}
+	for c, ok := d.sharers.Next(-1); ok; c, ok = d.sharers.Next(c) {
+		b.send(Msg{Type: MsgInv, Line: l, Dst: c, Requester: -1, ReqMode: htm.NonTx})
 	}
 }
 

@@ -88,7 +88,9 @@ func (t *dirTable) alloc() *dirLine {
 	d := t.free[len(t.free)-1]
 	t.free = t.free[:len(t.free)-1]
 	queue := d.queue[:0] // keep the queue's backing array across reuse
-	*d = dirLine{owner: -1, queue: queue}
+	d.sharers.Clear()    // ditto the sharer set's extension words (>64 cores)
+	sharers := d.sharers
+	*d = dirLine{owner: -1, queue: queue, sharers: sharers}
 	return d
 }
 

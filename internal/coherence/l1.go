@@ -921,17 +921,21 @@ func (l1 *L1) invalidated(m *Msg) {
 	l1InvTable.Dispatch(s, evt, l1InvCtx{l1: l1, m: m, e: e}, l1.sys.fired[tblL1Inv])
 }
 
-// invAckDir acknowledges an invalidation to the home directory.
+// invAckDir acknowledges an invalidation to whichever bank fanned it out —
+// the home directory, or a cluster collector in two-level mode (Inv.Src is
+// the home bank whenever the directory is flat, so this is the same
+// destination the pre-cluster code computed via HomeBank).
 func (l1 *L1) invAckDir(m *Msg) {
-	l1.send(Msg{Type: MsgInvAck, Line: m.Line, Dst: l1.sys.HomeBank(m.Line), Requester: m.Requester})
+	l1.send(Msg{Type: MsgInvAck, Line: m.Line, Dst: m.Src, Requester: m.Requester})
 }
 
 // invReject keeps this transactional sharer's copy: it won arbitration
-// against the invalidating requester.
+// against the invalidating requester. Like invAckDir, the reply returns to
+// the fanning bank (home or cluster collector).
 func (l1 *L1) invReject(m *Msg) {
 	l1.RejectsSent++
 	l1.noteRejected(m)
-	l1.sendAfter(l1.arbDelay(), Msg{Type: MsgInvReject, Line: m.Line, Dst: l1.sys.HomeBank(m.Line),
+	l1.sendAfter(l1.arbDelay(), Msg{Type: MsgInvReject, Line: m.Line, Dst: m.Src,
 		Requester: m.Requester, RejectorMode: l1.Tx.Mode, Rejector: l1.core})
 }
 

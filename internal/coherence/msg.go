@@ -63,6 +63,10 @@ const (
 	MsgHLDeny    // arbiter bank -> L1: STL application denied
 	MsgHLRelease // L1 -> arbiter bank: hlend, release authorization
 	MsgSigAdd    // L1 -> arbiter bank: overflowed line added to a signature
+
+	// Two-level directory (ClusterSize > 0, see cluster.go).
+	MsgClInv     // home bank -> cluster collector: invalidate the sharers in Mask
+	MsgClInvDone // cluster collector -> home bank: round finished; Mask acked
 )
 
 // carriesData reports whether the message is a multi-flit data message.
@@ -91,6 +95,7 @@ func (t MsgType) String() string {
 		"DataS", "DataE", "Reject",
 		"Unblock",
 		"WakeUp", "HLApply", "HLGrant", "HLDeny", "HLRelease", "SigAdd",
+		"ClInv", "ClInvDone",
 	}
 	if int(t) < len(names) {
 		return names[t]
@@ -128,6 +133,14 @@ type Msg struct {
 	// exclusive state (E/M) rather than S, and on MsgSigAdd whether the
 	// line was in the read set (Write==false) or write set (Write==true).
 	Excl bool
+	// Mask carries cluster-relative core bits for the two-level directory:
+	// on MsgClInv the sharers the collector must invalidate, on
+	// MsgClInvDone the subset that acked (rejectors keep their copies).
+	// Cluster-relative indexing is why ClusterSize is capped at 64.
+	Mask uint64
+	// Rejected reports, on MsgClInvDone, that at least one sharer in the
+	// cluster won arbitration; RejectorMode/Rejector name the winner.
+	Rejected bool
 	// recycled marks a message sitting on the System free list; set by
 	// System.free and cleared when the allocation site overwrites the
 	// struct. Guards against double frees.

@@ -1,0 +1,129 @@
+package coherence
+
+import "math/bits"
+
+// SharerSet tracks which cores hold S copies of a line. Up to 64 cores it
+// is exactly the old raw uint64 bitset — one inline word, zero allocations,
+// bit-for-bit the paper's 32-core behavior — and above 64 it spills to
+// extension words. The extension backing is retained when a recycled
+// dirLine is reused (see dirTable.alloc), so steady-state directory churn
+// on a 1024-core machine still allocates nothing once the slab warms up.
+//
+// Iteration (Next) is strictly ascending by core id on every
+// representation; fanout ordering — and therefore the bit-for-bit replay
+// guarantee — depends on it, and TestSharerSetDifferential pins it.
+type SharerSet struct {
+	w0  uint64
+	ext []uint64 // words 1..: cores 64..; nil on ≤64-core machines
+}
+
+// Add records a sharer.
+func (s *SharerSet) Add(c int) {
+	wi := c >> 6
+	if wi == 0 {
+		s.w0 |= 1 << uint(c&63)
+		return
+	}
+	for len(s.ext) < wi {
+		s.ext = append(s.ext, 0)
+	}
+	s.ext[wi-1] |= 1 << uint(c&63)
+}
+
+// Drop removes a sharer (no-op if absent).
+func (s *SharerSet) Drop(c int) {
+	wi := c >> 6
+	if wi == 0 {
+		s.w0 &^= 1 << uint(c&63)
+		return
+	}
+	if wi-1 < len(s.ext) {
+		s.ext[wi-1] &^= 1 << uint(c&63)
+	}
+}
+
+// Contains reports whether the core is a sharer.
+func (s *SharerSet) Contains(c int) bool {
+	wi := c >> 6
+	if wi == 0 {
+		return s.w0&(1<<uint(c&63)) != 0
+	}
+	return wi-1 < len(s.ext) && s.ext[wi-1]&(1<<uint(c&63)) != 0
+}
+
+// Count returns the number of sharers.
+func (s *SharerSet) Count() int {
+	n := bits.OnesCount64(s.w0)
+	for _, w := range s.ext {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no core shares the line.
+func (s *SharerSet) Empty() bool {
+	if s.w0 != 0 {
+		return false
+	}
+	for _, w := range s.ext {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyExcept reports whether any core other than c is a sharer — the
+// "GetM over other sharers" guard of the bank.service table.
+func (s *SharerSet) AnyExcept(c int) bool {
+	wi := c >> 6
+	if wi == 0 {
+		if s.w0&^(1<<uint(c&63)) != 0 {
+			return true
+		}
+	} else if s.w0 != 0 {
+		return true
+	}
+	for i, w := range s.ext {
+		if w == 0 {
+			continue
+		}
+		if i+1 == wi && w&^(1<<uint(c&63)) == 0 {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Clear removes every sharer, keeping the extension backing for reuse.
+func (s *SharerSet) Clear() {
+	s.w0 = 0
+	for i := range s.ext {
+		s.ext[i] = 0
+	}
+}
+
+// Next returns the smallest sharer strictly greater than after, or ok=false
+// when none remains. Start iteration with after=-1; order is strictly
+// ascending. Closure-free on purpose — fanout loops run on the hot path.
+func (s *SharerSet) Next(after int) (core int, ok bool) {
+	from := after + 1
+	if from < 0 {
+		from = 0
+	}
+	nwords := 1 + len(s.ext)
+	for wi := from >> 6; wi < nwords; wi++ {
+		w := s.w0
+		if wi > 0 {
+			w = s.ext[wi-1]
+		}
+		if wi == from>>6 {
+			w &^= 1<<uint(from&63) - 1
+		}
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w), true
+		}
+	}
+	return -1, false
+}

@@ -15,8 +15,19 @@ import (
 // Params are the machine parameters of Table I. Sizes are per-structure
 // totals in bytes; the LLC is split evenly across one bank per tile.
 type Params struct {
-	Cores          int
-	MeshW, MeshH   int
+	Cores int
+	// Topo selects the interconnect shape: "" or "mesh" (Table I), "torus"
+	// (wraparound X-Y), or "cmesh" (Conc tiles per router). MeshW×MeshH is
+	// the router grid; Cores must equal MeshW*MeshH (mesh, torus) or
+	// MeshW*MeshH*Conc (cmesh).
+	Topo         string
+	MeshW, MeshH int
+	Conc         int // tiles per router (cmesh only; 0 reads as 1)
+	// ClusterSize, when >0 and < Cores, enables the two-level directory:
+	// invalidation fanout for a line is delegated to one collector bank per
+	// cluster of ClusterSize consecutive tiles (see cluster.go). Must
+	// divide Cores. 0 keeps the paper's flat directory.
+	ClusterSize    int
 	L1Size, L1Ways int
 	LLCSize        int
 	LLCWays        int
@@ -44,18 +55,60 @@ func DefaultParams() Params {
 	}
 }
 
+// MaxCores is the scaling ceiling (DESIGN.md §13). The sharer sets,
+// topologies, and two-level directory are all sized for it.
+const MaxCores = 1024
+
 // Validate panics on inconsistent parameters.
 func (p Params) Validate() {
-	if p.Cores <= 0 || p.Cores > 64 {
+	if p.Cores <= 0 || p.Cores > MaxCores {
 		panic(fmt.Sprintf("coherence: unsupported core count %d", p.Cores))
 	}
-	if p.MeshW*p.MeshH != p.Cores {
-		panic(fmt.Sprintf("coherence: mesh %dx%d does not match %d cores",
-			p.MeshW, p.MeshH, p.Cores))
+	conc := p.Conc
+	if conc == 0 {
+		conc = 1
+	}
+	if p.Topo != "cmesh" {
+		conc = 1
+	}
+	if p.MeshW*p.MeshH*conc != p.Cores {
+		panic(fmt.Sprintf("coherence: %s %dx%d (conc %d) does not match %d cores",
+			p.topoKind(), p.MeshW, p.MeshH, conc, p.Cores))
 	}
 	if p.LLCSize%(p.Cores) != 0 {
 		panic("coherence: LLC size must divide evenly across banks")
 	}
+	if p.ClusterSize > 0 {
+		if p.Cores%p.ClusterSize != 0 {
+			panic(fmt.Sprintf("coherence: cluster size %d does not divide %d cores",
+				p.ClusterSize, p.Cores))
+		}
+		if p.ClusterSize > 64 {
+			panic(fmt.Sprintf("coherence: cluster size %d exceeds the 64-core Mask width",
+				p.ClusterSize))
+		}
+	}
+}
+
+// topoKind normalizes the Topo field ("" means the Table I mesh).
+func (p Params) topoKind() string {
+	if p.Topo == "" {
+		return "mesh"
+	}
+	return p.Topo
+}
+
+// topology builds the configured interconnect shape.
+func (p Params) topology() topology.Topology {
+	conc := p.Conc
+	if conc == 0 {
+		conc = 1
+	}
+	t, err := topology.New(p.topoKind(), p.MeshW, p.MeshH, conc)
+	if err != nil {
+		panic("coherence: " + err.Error())
+	}
+	return t
 }
 
 // System is the assembled memory subsystem: one L1 and one LLC bank per
@@ -98,12 +151,11 @@ func NewSystem(engine *sim.Engine, p Params, hc htm.Config) *System {
 	p.Validate()
 	hc = hc.Defaults()
 	hc.Validate()
-	mesh := topology.NewMesh(p.MeshW, p.MeshH)
 	sys := &System{
 		Params:   p,
 		HTM:      hc,
 		Engine:   engine,
-		Net:      noc.New(engine, mesh, p.NoC),
+		Net:      noc.New(engine, p.topology(), p.NoC),
 		LockLine: mem.Line(0),
 		fired:    newFiredCounters(),
 	}
@@ -216,7 +268,8 @@ func (m *Msg) toBank() bool {
 	switch m.Type {
 	case MsgGetS, MsgGetM, MsgPutM, MsgPutE, MsgTxWB,
 		MsgOwnerData, MsgNack, MsgRejectFwd, MsgInvAck, MsgInvReject,
-		MsgUnblock, MsgHLApply, MsgHLRelease, MsgSigAdd:
+		MsgUnblock, MsgHLApply, MsgHLRelease, MsgSigAdd,
+		MsgClInv, MsgClInvDone:
 		return true
 	}
 	return false

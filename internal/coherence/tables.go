@@ -73,6 +73,7 @@ var msgEvents = []string{
 	"GetS", "GetM", "PutM", "PutE", "TxWB", "FwdGetS", "FwdGetM", "Inv",
 	"OwnerData", "Nack", "RejectFwd", "InvAck", "InvReject", "DataS", "DataE",
 	"Reject", "Unblock", "WakeUp", "HLApply", "HLGrant", "HLDeny", "HLRelease", "SigAdd",
+	"ClInv", "ClInvDone",
 }
 
 // cacheStates names the cache.State space, index-aligned with its constants.
@@ -85,7 +86,7 @@ var bankBound = []proto.Event{
 	onMsg(MsgGetS), onMsg(MsgGetM), onMsg(MsgPutM), onMsg(MsgPutE), onMsg(MsgTxWB),
 	onMsg(MsgOwnerData), onMsg(MsgNack), onMsg(MsgRejectFwd), onMsg(MsgInvAck),
 	onMsg(MsgInvReject), onMsg(MsgUnblock), onMsg(MsgHLApply), onMsg(MsgHLRelease),
-	onMsg(MsgSigAdd),
+	onMsg(MsgSigAdd), onMsg(MsgClInv), onMsg(MsgClInvDone),
 }
 
 var l1Bound = []proto.Event{
@@ -218,6 +219,21 @@ type bankSvcCtx struct {
 	m *Msg
 }
 
+// Cluster-collector states (two-level directory, cluster.go): a bank with
+// no open round for a line is idle; from ClInv until every fanned-out
+// invalidation answers it is collecting.
+const (
+	clIdle proto.State = iota
+	clCollecting
+)
+
+var clusterStates = []string{"idle", "collecting"}
+
+type clusterCtx struct {
+	b *Bank
+	m *Msg
+}
+
 // Middle-cache promotion events.
 const (
 	midLoad proto.Event = iota
@@ -246,13 +262,14 @@ type midCtx struct {
 // --- compiled tables -------------------------------------------------------
 
 var (
-	l1RecvTable     *proto.Table[l1MsgCtx]
-	l1FillTable     *proto.Table[l1FillCtx]
-	l1FwdTable      *proto.Table[l1FwdCtx]
-	l1InvTable      *proto.Table[l1InvCtx]
-	bankRecvTable   *proto.Table[bankMsgCtx]
-	bankSvcTable    *proto.Table[bankSvcCtx]
-	midPromoteTable *proto.Table[midCtx]
+	l1RecvTable      *proto.Table[l1MsgCtx]
+	l1FillTable      *proto.Table[l1FillCtx]
+	l1FwdTable       *proto.Table[l1FwdCtx]
+	l1InvTable       *proto.Table[l1InvCtx]
+	bankRecvTable    *proto.Table[bankMsgCtx]
+	bankSvcTable     *proto.Table[bankSvcCtx]
+	bankClusterTable *proto.Table[clusterCtx]
+	midPromoteTable  *proto.Table[midCtx]
 )
 
 func init() {
@@ -262,6 +279,7 @@ func init() {
 	buildL1InvTable()
 	buildBankRecvTable()
 	buildBankSvcTable()
+	buildBankClusterTable()
 	buildMidPromoteTable()
 	registerProtocolTables()
 }
@@ -493,6 +511,8 @@ func buildBankRecvTable() {
 				Actions: []proto.Action[bankMsgCtx]{at("collect-inv-ack", (*Bank).collectInvAck), free}},
 			{From: bkBusy, On: onMsg(MsgInvReject), To: proto.Same,
 				Actions: []proto.Action[bankMsgCtx]{at("collect-inv-reject", (*Bank).collectInvReject), free}},
+			{From: bkBusy, On: onMsg(MsgClInvDone), To: proto.Same,
+				Actions: []proto.Action[bankMsgCtx]{at("fold-cluster-round", (*Bank).collectClusterDone), free}},
 			{From: bkEvict, On: onMsg(MsgInvAck), To: proto.Same,
 				Actions: []proto.Action[bankMsgCtx]{at("collect-evict-ack", (*Bank).collectEvictAck), free}},
 			{From: bkBusy, On: onMsg(MsgUnblock), To: proto.Same,
@@ -513,6 +533,13 @@ func buildBankRecvTable() {
 			im = forbid(im, []proto.State{bkIdle},
 				[]proto.Event{onMsg(MsgInvAck), onMsg(MsgInvReject)},
 				"stray invalidation reply for an idle line")
+			im = forbid(im, []proto.State{bkIdle, bkBusy, bkEvict},
+				[]proto.Event{onMsg(MsgClInv)},
+				"cluster invalidations are consumed by the collector dispatch, never the home table")
+			im = forbid(im, []proto.State{bkIdle}, []proto.Event{onMsg(MsgClInvDone)},
+				"stray cluster round result for an idle line")
+			im = forbid(im, []proto.State{bkEvict}, []proto.Event{onMsg(MsgClInvDone)},
+				"cluster round result during a back-invalidation")
 			im = forbid(im, []proto.State{bkIdle}, []proto.Event{onMsg(MsgUnblock)},
 				"stray unblock for an idle line")
 			im = forbid(im, []proto.State{bkEvict},
@@ -539,7 +566,7 @@ func buildBankSvcTable() {
 	ownerIsReq := when("owner-is-requester",
 		func(c bankSvcCtx) bool { return c.d.owner == c.m.Requester })
 	otherSharers := when("other-sharers",
-		func(c bankSvcCtx) bool { return c.d.sharers&^(1<<uint(c.m.Requester)) != 0 })
+		func(c bankSvcCtx) bool { return c.d.sharers.AnyExcept(c.m.Requester) })
 
 	bankSvcTable = proto.New("bank.service", svcStates, svcEvents,
 		[]proto.Transition[bankSvcCtx]{
@@ -559,6 +586,45 @@ func buildBankSvcTable() {
 				Actions: []proto.Action[bankSvcCtx]{dataE}},
 			{From: proto.State(dirEM), On: svcStore, To: proto.Same, Actions: []proto.Action[bankSvcCtx]{fwd}},
 		}, nil)
+}
+
+// buildBankClusterTable compiles the cluster collector of the two-level
+// directory (cluster.go): what a collector bank does with a delegated
+// invalidation round. Bank.clusterRole routes only ClInv and round-bound
+// InvAck/InvReject here; every other message type is a declared violation,
+// which keeps the collector's event space honest against routing drift.
+func buildBankClusterTable() {
+	free := act("free-msg", func(c clusterCtx) { c.b.sys.free(c.m) })
+
+	bankClusterTable = proto.New("bank.clinv", clusterStates, msgEvents,
+		[]proto.Transition[clusterCtx]{
+			{From: clIdle, On: onMsg(MsgClInv), To: clCollecting,
+				Actions: []proto.Action[clusterCtx]{
+					act("fan-cluster-invs", func(c clusterCtx) { c.b.startCollect(c.m) }), free}},
+			{From: clCollecting, On: onMsg(MsgInvAck), To: proto.Same,
+				Actions: []proto.Action[clusterCtx]{
+					act("collect-cluster-ack", func(c clusterCtx) { c.b.collectClusterAck(c.m) }), free}},
+			{From: clCollecting, On: onMsg(MsgInvReject), To: proto.Same,
+				Actions: []proto.Action[clusterCtx]{
+					act("collect-cluster-reject", func(c clusterCtx) { c.b.collectClusterReject(c.m) }), free}},
+		},
+		func() []proto.Impossible {
+			var rest []proto.Event
+			for i := range msgEvents {
+				if t := MsgType(i); t == MsgClInv || t == MsgInvAck || t == MsgInvReject {
+					continue
+				}
+				rest = append(rest, proto.Event(i))
+			}
+			im := forbid(nil, []proto.State{clIdle, clCollecting}, rest,
+				"only delegated invalidation traffic enters the collector table")
+			im = forbid(im, []proto.State{clCollecting}, []proto.Event{onMsg(MsgClInv)},
+				"the home never overlaps cluster rounds for one line")
+			im = forbid(im, []proto.State{clIdle},
+				[]proto.Event{onMsg(MsgInvAck), onMsg(MsgInvReject)},
+				"invalidation reply without an open collector round")
+			return im
+		}())
 }
 
 // buildMidPromoteTable compiles middle-cache promotion (three-level
@@ -608,6 +674,7 @@ const (
 	tblL1Inv
 	tblBankRecv
 	tblBankSvc
+	tblBankCluster
 	tblMidPromote
 	tblCount
 )
@@ -627,13 +694,14 @@ var protocolTables [tblCount]protocolTable
 
 func registerProtocolTables() {
 	protocolTables = [tblCount]protocolTable{
-		tblL1Recv:     registerTable(l1RecvTable),
-		tblL1Fill:     registerTable(l1FillTable),
-		tblL1Fwd:      registerTable(l1FwdTable),
-		tblL1Inv:      registerTable(l1InvTable),
-		tblBankRecv:   registerTable(bankRecvTable),
-		tblBankSvc:    registerTable(bankSvcTable),
-		tblMidPromote: registerTable(midPromoteTable),
+		tblL1Recv:      registerTable(l1RecvTable),
+		tblL1Fill:      registerTable(l1FillTable),
+		tblL1Fwd:       registerTable(l1FwdTable),
+		tblL1Inv:       registerTable(l1InvTable),
+		tblBankRecv:    registerTable(bankRecvTable),
+		tblBankSvc:     registerTable(bankSvcTable),
+		tblBankCluster: registerTable(bankClusterTable),
+		tblMidPromote:  registerTable(midPromoteTable),
 	}
 }
 

@@ -24,7 +24,7 @@ func TestProtocolTablesComplete(t *testing.T) {
 // reordered message type must fail loudly here rather than silently skew
 // every table.
 func TestMsgEventNames(t *testing.T) {
-	if got, want := len(msgEvents), int(MsgSigAdd)+1; got != want {
+	if got, want := len(msgEvents), int(MsgClInvDone)+1; got != want {
 		t.Fatalf("msgEvents has %d names, MsgType space has %d", got, want)
 	}
 	for i, name := range msgEvents {
@@ -69,7 +69,7 @@ func TestMsgRoutingMatchesTables(t *testing.T) {
 	for _, e := range l1Bound {
 		inL1[MsgType(e)] = true
 	}
-	for i := 0; i <= int(MsgSigAdd); i++ {
+	for i := 0; i <= int(MsgClInvDone); i++ {
 		mt := MsgType(i)
 		if inBank[mt] == inL1[mt] {
 			t.Errorf("%v is in bankBound=%v and l1Bound=%v; the partition must cover each type exactly once",

@@ -189,10 +189,10 @@ func (m *Machine) attachTelemetry(tel *telemetry.Telemetry) {
 		func() float64 { return float64(net.Messages) })
 	tel.Reg.RateSeries("noc_queue_wait",
 		func() float64 { return float64(net.QueueWait) })
-	// A WxH mesh has W*(H-1) vertical and H*(W-1) horizontal channels, each
-	// bidirectional: flit-hops over link-cycles is the mean link occupancy.
+	// Flit-hops over link-cycles is the mean link occupancy; the topology
+	// knows its own directed-link count (mesh, torus, and cmesh differ).
 	p := m.Cfg.Machine
-	links := 2 * (p.MeshW*(p.MeshH-1) + p.MeshH*(p.MeshW-1))
+	links := net.Topo().NumLinks()
 	tel.Reg.PerCycleSeries("noc_link_occupancy",
 		func() float64 { return float64(net.FlitHops) }, float64(links))
 	sys := m.Sys

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/coherence"
 	"repro/internal/htm"
 	"repro/internal/stamp"
 	"repro/internal/stats"
@@ -579,20 +580,127 @@ func (f *Fig13) Render(w io.Writer) {
 	}
 }
 
+// --- Scaling sweep (DESIGN.md §13) -------------------------------------
+
+// ScalingCores are the machine sizes of the scaling sweep.
+var ScalingCores = []int{32, 64, 128, 256}
+
+// ScalingSpec returns the spec for one scaling point: one thread per
+// core, a near-square grid, and the two-level directory (clusters of 16)
+// above 64 cores, where flat-directory fanout starts to serialize the
+// home banks.
+func ScalingSpec(sys SystemDef, wl stamp.Profile, cores int) Spec {
+	s := Spec{System: sys, Workload: wl, Threads: cores, Cache: TypicalCache(), Cores: cores}
+	if cores > 64 {
+		s.ClusterSize = 16
+	}
+	return s
+}
+
+// FigScaling is the scaling sweep: speedup over same-size CGL for every
+// Fig. 7 system at {32, 64, 128, 256} cores on one workload.
+type FigScaling struct {
+	Workload string
+	Systems  []string
+	Cores    []int
+	// Speedup[sys][ci] = CGL cycles / system cycles at Cores[ci].
+	Speedup map[string][]float64
+}
+
+// RunFigScaling regenerates the scaling sweep. A nil cores slice means
+// ScalingCores.
+func RunFigScaling(r *Runner, wl stamp.Profile, cores []int) (*FigScaling, error) {
+	if cores == nil {
+		cores = ScalingCores
+	}
+	systems := Fig7Systems()
+	f := &FigScaling{Workload: wl.Name, Cores: cores, Speedup: map[string][]float64{}}
+	var specs []Spec
+	for _, n := range cores {
+		specs = append(specs, ScalingSpec(mustSystem("CGL"), wl, n))
+		for _, s := range systems {
+			specs = append(specs, ScalingSpec(s, wl, n))
+		}
+	}
+	if err := r.RunAll(specs); err != nil {
+		return nil, err
+	}
+	for _, s := range systems {
+		f.Systems = append(f.Systems, s.Name)
+		for _, n := range cores {
+			cgl, err := r.Get(ScalingSpec(mustSystem("CGL"), wl, n))
+			if err != nil {
+				return nil, err
+			}
+			run, err := r.Get(ScalingSpec(s, wl, n))
+			if err != nil {
+				return nil, err
+			}
+			if run.ExecCycles == 0 {
+				return nil, fmt.Errorf("harness: zero exec cycles for %s at %d cores", s.Name, n)
+			}
+			f.Speedup[s.Name] = append(f.Speedup[s.Name], float64(cgl.ExecCycles)/float64(run.ExecCycles))
+		}
+	}
+	return f, nil
+}
+
+func (f *FigScaling) Render(w io.Writer) {
+	fmt.Fprintf(w, "Scaling: speedup vs same-size CGL, %s, threads = cores (two-level directory above 64)\n", f.Workload)
+	fmt.Fprintf(w, "  %-16s", "system")
+	for _, n := range f.Cores {
+		fmt.Fprintf(w, " %6dC", n)
+	}
+	fmt.Fprintln(w)
+	for _, s := range f.Systems {
+		fmt.Fprintf(w, "  %-16s", s)
+		for _, sp := range f.Speedup[s] {
+			fmt.Fprintf(w, " %6.2fx", sp)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 // --- Tables ------------------------------------------------------------
 
-// RenderTable1 prints the modeled system parameters (Table I).
+// RenderTable1 prints the modeled system parameters (Table I), derived
+// from the machine configuration rather than restated, so scaling
+// overrides can never desynchronize the table from the simulated machine.
 func RenderTable1(w io.Writer) {
+	RenderTable1Params(w, coherence.DefaultParams())
+}
+
+// RenderTable1Params renders the Table I rows for an arbitrary machine
+// shape (scaling runs pass Spec.MachineParams()).
+func RenderTable1Params(w io.Writer, p coherence.Params) {
 	fmt.Fprintln(w, "Table I: system model parameters")
+	topo := "mesh"
+	if p.Topo != "" {
+		topo = p.Topo
+	}
+	topoRow := fmt.Sprintf("2-D %s (%dx%d), X-Y", topo, p.MeshW, p.MeshH)
+	if topo == "cmesh" {
+		conc := p.Conc
+		if conc == 0 {
+			conc = 1
+		}
+		topoRow = fmt.Sprintf("2-D cmesh (%dx%d routers, %d tiles each), X-Y", p.MeshW, p.MeshH, conc)
+	}
+	coherenceRow := "MESI, directory-based (blocking, dir-mediated)"
+	if p.ClusterSize > 0 {
+		coherenceRow = fmt.Sprintf("MESI, two-level directory (clusters of %d)", p.ClusterSize)
+	}
 	rows := [][2]string{
-		{"Number of Cores", "32"},
+		{"Number of Cores", fmt.Sprintf("%d", p.Cores)},
 		{"Core Detail", "In-order, single-issue, 1 IPC"},
 		{"Cache Line Size", "64 bytes"},
-		{"L1 I&D caches", "Private, 32KB, 4-way, 2-cycle hit latency"},
-		{"L2 cache", "Shared, 8MB, 16-way, 12-cycle hit latency"},
-		{"Memory", "100-cycle latency"},
-		{"Coherence protocol", "MESI, directory-based (blocking, dir-mediated)"},
-		{"Topology and Routing", "2-D mesh (4x8), X-Y"},
+		{"L1 I&D caches", fmt.Sprintf("Private, %dKB, %d-way, %d-cycle hit latency",
+			p.L1Size/1024, p.L1Ways, p.L1Hit)},
+		{"L2 cache", fmt.Sprintf("Shared, %dMB, %d-way, %d-cycle hit latency",
+			p.LLCSize>>20, p.LLCWays, p.LLCHit)},
+		{"Memory", fmt.Sprintf("%d-cycle latency", p.MemLatency)},
+		{"Coherence protocol", coherenceRow},
+		{"Topology and Routing", topoRow},
 		{"Flit/message size", "16 bytes / 5 flits (data), 1 flit (control)"},
 		{"Link latency/bandwidth", "1 cycle / 1 flit per cycle"},
 	}

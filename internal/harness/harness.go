@@ -114,6 +114,17 @@ type Spec struct {
 	// sequential engine, but key-affecting so differential tests can hold
 	// both results at once.
 	Par int
+	// Cores, Topo, MeshW/MeshH, and ClusterSize override the Table I
+	// machine shape (32 cores, 4x8 mesh, flat directory) for scaling runs
+	// (DESIGN.md §13). Zero values keep the defaults — and the memo keys
+	// they produced before these fields existed. Cores alone derives a
+	// near-square grid (GridFor); an explicit MeshW×MeshH wins. Topo picks
+	// mesh, torus, or cmesh (4 tiles per router); ClusterSize enables the
+	// two-level directory.
+	Cores        int
+	Topo         string
+	MeshW, MeshH int
+	ClusterSize  int
 }
 
 func (s Spec) key() string {
@@ -124,7 +135,64 @@ func (s Spec) key() string {
 	if s.Par > 0 {
 		k += fmt.Sprintf("|par%d", s.Par)
 	}
+	if s.Cores > 0 {
+		k += fmt.Sprintf("|cores%d", s.Cores)
+	}
+	if s.Topo != "" {
+		k += "|topo" + s.Topo
+	}
+	if s.MeshW > 0 || s.MeshH > 0 {
+		k += fmt.Sprintf("|grid%dx%d", s.MeshW, s.MeshH)
+	}
+	if s.ClusterSize > 0 {
+		k += fmt.Sprintf("|cl%d", s.ClusterSize)
+	}
 	return k
+}
+
+// GridFor returns the most-square W×H factorization of n tiles with W ≤ H,
+// matching Table I's 4x8 orientation at 32: 64→8x8, 128→8x16, 256→16x16,
+// 512→16x32, 1024→32x32.
+func GridFor(n int) (w, h int) {
+	w = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			w = d
+		}
+	}
+	return w, n / w
+}
+
+// MachineParams resolves the spec's machine shape: Table I defaults plus
+// the cache configuration and any scaling overrides.
+func (s Spec) MachineParams() coherence.Params {
+	p := coherence.DefaultParams()
+	p.L1Size = s.Cache.L1Size
+	p.LLCSize = s.Cache.LLCSize
+	if s.Cores > 0 {
+		p.Cores = s.Cores
+	}
+	if s.Topo != "" {
+		p.Topo = s.Topo
+	}
+	if s.ClusterSize > 0 {
+		p.ClusterSize = s.ClusterSize
+	}
+	conc := 1
+	if p.Topo == "cmesh" {
+		conc = 4
+	}
+	switch {
+	case s.MeshW > 0 && s.MeshH > 0:
+		p.MeshW, p.MeshH = s.MeshW, s.MeshH
+		conc = p.Cores / (p.MeshW * p.MeshH)
+	case s.Cores > 0 || p.Topo == "cmesh":
+		p.MeshW, p.MeshH = GridFor(p.Cores / conc)
+	}
+	if p.Topo == "cmesh" {
+		p.Conc = conc
+	}
+	return p
 }
 
 // Execute runs one simulation to completion.
@@ -139,9 +207,7 @@ func ExecuteTraced(s Spec, tracer *trace.Tracer) (*stats.Run, error) {
 // optional telemetry instance attached. Both may be nil; a non-nil telemetry
 // gets its Meta stamped from the spec and is ready for export after the run.
 func ExecuteInstrumented(s Spec, tracer *trace.Tracer, tel *telemetry.Telemetry) (*stats.Run, error) {
-	p := coherence.DefaultParams()
-	p.L1Size = s.Cache.L1Size
-	p.LLCSize = s.Cache.LLCSize
+	p := s.MachineParams()
 	cfg := cpu.Config{
 		Machine:       p,
 		HTM:           s.System.HTM,

@@ -104,9 +104,43 @@ func TestWakeSetDrain(t *testing.T) {
 func TestWakeSetRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for core 64")
+			t.Fatal("expected panic for negative core")
 		}
 	}()
 	var w WakeSet
-	w.Add(64)
+	w.Add(-1)
+}
+
+func TestWakeSetBeyond64(t *testing.T) {
+	var w WakeSet
+	for _, c := range []int{900, 63, 64, 0, 511, 127} {
+		w.Add(c)
+	}
+	if !w.Contains(900) || !w.Contains(64) || w.Contains(65) || w.Contains(899) {
+		t.Fatal("Contains wrong above 64")
+	}
+	var got []int
+	w.Drain(func(c int) { got = append(got, c) })
+	want := []int{0, 63, 64, 127, 511, 900}
+	if len(got) != len(want) {
+		t.Fatalf("Drain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain = %v, want %v (ascending)", got, want)
+		}
+	}
+	if !w.Empty() {
+		t.Fatal("Drain must clear extension words")
+	}
+	// Re-adds during a drain are kept for the next drain, not woken twice.
+	w.Add(70)
+	var first []int
+	w.Drain(func(c int) { w.Add(c); first = append(first, c) })
+	if len(first) != 1 || first[0] != 70 {
+		t.Fatalf("first drain = %v", first)
+	}
+	if !w.Contains(70) {
+		t.Fatal("re-added core must survive the drain")
+	}
 }

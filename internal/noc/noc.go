@@ -1,5 +1,8 @@
-// Package noc models the on-chip interconnect of the tiled CMP: a 2-D mesh
-// with X-Y routing, 16-byte flits, 1-cycle links at 1 flit/cycle (Table I).
+// Package noc models the on-chip interconnect of the tiled CMP. The shape
+// is pluggable (topology.Topology): the paper's Table I machine is a 4x8
+// mesh with X-Y routing, and the scaled machines (DESIGN.md §13) run the
+// same model over larger meshes, tori, and concentrated meshes up to 1024
+// tiles. Flits are 16 bytes over 1-cycle links at 1 flit/cycle (Table I).
 //
 // Rather than simulating router microarchitecture cycle by cycle, the model
 // reserves each directed link along a message's path in order: a message
@@ -27,7 +30,8 @@ const (
 type Config struct {
 	LinkLatency  uint64 // cycles per hop (Table I: 1)
 	RouterDelay  uint64 // per-hop router pipeline delay
-	LocalLatency uint64 // latency for a tile talking to itself
+	LocalLatency uint64 // latency for a tile talking to itself (and, on a
+	// concentrated mesh, to the other tiles of its router)
 	// Perfect disables contention and serialization: every message takes
 	// hops*(LinkLatency+RouterDelay) cycles. Used by the NoC ablation.
 	Perfect bool
@@ -38,26 +42,32 @@ func DefaultConfig() Config {
 	return Config{LinkLatency: 1, RouterDelay: 1, LocalLatency: 1}
 }
 
-// Network delivers messages between tiles of a mesh.
+// Network delivers messages between tiles of a topology.
 //lockiller:shared-state
 type Network struct {
 	engine *sim.Engine
-	mesh   topology.Mesh
+	topo   topology.Topology
 	cfg    Config
 
 	// busyUntil[from*tiles+to] is the cycle at which the directed link
 	// from→to becomes free. A flat slice rather than a map keyed by
 	// topology.Link: the lookup runs once per link per message on the
 	// hottest path in the simulator, and hashing a 16-byte struct key
-	// dominated whole-run profiles. tiles² entries is at most 8 KiB for
-	// the paper's 32-tile mesh; non-adjacent pairs simply stay zero.
+	// dominated whole-run profiles. tiles² entries is 8 KiB for the
+	// paper's 32-tile mesh and 8 MiB at the 1024-tile ceiling — still far
+	// cheaper than per-message hashing; non-adjacent pairs simply stay
+	// zero.
 	busyUntil []uint64
 	tiles     int
 
 	// routes[src*tiles+dst] lists the flat busyUntil indices of the links
-	// along the X-Y route, precomputed so the arrival loop walks a dense
-	// int32 slice instead of re-deriving link identities per message.
-	routes [][]int32
+	// along the route, precomputed so the arrival loop walks a dense int32
+	// slice instead of re-deriving link identities per message. Machines
+	// beyond topology.RouteTableTiles skip the tiles² table and route on
+	// demand into scratch instead.
+	routes        [][]int32
+	scratch       []topology.Link
+	scratchIdxBuf []int32
 
 	// Tracer, when non-nil, records CatNoC events: link enqueue,
 	// serialization stalls, and scheduled delivery.
@@ -69,48 +79,59 @@ type Network struct {
 	QueueWait uint64
 }
 
-// New creates a network over the given mesh.
-func New(engine *sim.Engine, mesh topology.Mesh, cfg Config) *Network {
-	t := mesh.Tiles()
+// New creates a network over the given topology.
+func New(engine *sim.Engine, topo topology.Topology, cfg Config) *Network {
+	t := topo.Tiles()
+	n := &Network{
+		engine:    engine,
+		topo:      topo,
+		cfg:       cfg,
+		busyUntil: make([]uint64, t*t),
+		tiles:     t,
+	}
+	if t > topology.RouteTableTiles {
+		return n // on-demand routing via scratch
+	}
 	routes := make([][]int32, t*t)
 	total := 0
 	for src := 0; src < t; src++ {
 		for dst := 0; dst < t; dst++ {
-			total += mesh.Hops(src, dst)
+			total += topo.Hops(src, dst)
 		}
 	}
 	backing := make([]int32, 0, total) // one allocation backs every route
 	for src := 0; src < t; src++ {
 		for dst := 0; dst < t; dst++ {
 			start := len(backing)
-			for _, l := range mesh.Route(src, dst) {
+			for _, l := range topo.Route(src, dst) {
 				backing = append(backing, int32(l.From*t+l.To))
 			}
 			routes[src*t+dst] = backing[start:len(backing):len(backing)]
 		}
 	}
-	return &Network{
-		engine:    engine,
-		mesh:      mesh,
-		cfg:       cfg,
-		busyUntil: make([]uint64, t*t),
-		tiles:     t,
-		routes:    routes,
-	}
+	n.routes = routes
+	return n
 }
 
-// Mesh returns the underlying topology.
-func (n *Network) Mesh() topology.Mesh { return n.mesh }
+// Topo returns the underlying topology.
+func (n *Network) Topo() topology.Topology { return n.topo }
 
 // Lookahead returns the conservative-PDES lookahead of the interconnect:
-// the minimum latency of any cross-tile message (one hop of a single-flit
-// control message — link plus router pipeline, at least one cycle). No
-// event on one tile can cause an event on another tile sooner than this,
-// which is what lets the sharded engine (internal/sim/par.go) let a tile
-// group simulate ahead of its neighbors; the machine layer also derives
-// the default span-grant width from it.
+// the minimum latency of any cross-tile message. On a mesh or torus that is
+// one hop of a single-flit control message — link plus router pipeline; on
+// a concentrated mesh two tiles can share a router, so the zero-hop
+// crossbar latency bounds it too. Always at least one cycle. No event on
+// one tile can cause an event on another tile sooner than this, which is
+// what lets the sharded engine (internal/sim/par.go) let a tile group
+// simulate ahead of its neighbors; the machine layer also derives the
+// default span-grant width from it.
 func (n *Network) Lookahead() uint64 {
 	l := n.cfg.LinkLatency + n.cfg.RouterDelay
+	if n.topo.MinCrossHops() == 0 {
+		if local := maxU64(n.cfg.LocalLatency, 1); local < l {
+			l = local
+		}
+	}
 	if l < 1 {
 		l = 1
 	}
@@ -118,7 +139,7 @@ func (n *Network) Lookahead() uint64 {
 }
 
 // Send schedules deliver to run when a message of the given flit count
-// arrives at dst, reserving link bandwidth along the X-Y route.
+// arrives at dst, reserving link bandwidth along the route.
 func (n *Network) Send(src, dst int, flits int, deliver func()) {
 	n.engine.At(n.arrival(src, dst, flits), deliver)
 }
@@ -131,15 +152,29 @@ func (n *Network) SendEvent(src, dst, flits int, h sim.Handler, kind uint8, a ui
 	n.engine.AtEvent(n.arrival(src, dst, flits), h, kind, a, p)
 }
 
-// arrival reserves link bandwidth along the X-Y route and returns the
-// absolute cycle at which the message's tail flit reaches dst.
+// arrival reserves link bandwidth along the route and returns the absolute
+// cycle at which the message's tail flit reaches dst.
 func (n *Network) arrival(src, dst, flits int) uint64 {
 	n.Messages++
 	now := n.engine.Now()
 	if src == dst {
 		return now + maxU64(n.cfg.LocalLatency, 1)
 	}
-	route := n.routes[src*n.tiles+dst]
+	var route []int32
+	if n.routes != nil {
+		route = n.routes[src*n.tiles+dst]
+	} else {
+		// On-demand routing for machines beyond the precompute bound; the
+		// scratch link buffer is reused across messages.
+		n.scratch = n.topo.AppendRoute(n.scratch[:0], src, dst)
+		route = n.scratchIdx(n.scratch)
+	}
+	if len(route) == 0 {
+		// Distinct tiles on the same router (concentrated mesh): the local
+		// crossbar, like a tile talking to itself. Lookahead depends on
+		// this never being zero.
+		return now + maxU64(n.cfg.LocalLatency, 1)
+	}
 	n.FlitHops += uint64(flits * len(route))
 	if n.cfg.Perfect {
 		lat := uint64(len(route)) * (n.cfg.LinkLatency + n.cfg.RouterDelay)
@@ -168,6 +203,19 @@ func (n *Network) arrival(src, dst, flits int) uint64 {
 		n.Tracer.Emitf(dst, trace.CatNoC, 0, "dequeue %d->%d at=%d", src, dst, t)
 	}
 	return t
+}
+
+// scratchIdx converts scratch links to flat busyUntil indices in place —
+// an int32 slice aliasing a separate reused buffer.
+func (n *Network) scratchIdx(links []topology.Link) []int32 {
+	if cap(n.scratchIdxBuf) < len(links) {
+		n.scratchIdxBuf = make([]int32, len(links), 2*len(links))
+	}
+	idx := n.scratchIdxBuf[:len(links)]
+	for i, l := range links {
+		idx[i] = int32(l.From*n.tiles + l.To)
+	}
+	return idx
 }
 
 func maxU64(a, b uint64) uint64 {

@@ -98,7 +98,7 @@ func TestLocalDelivery(t *testing.T) {
 func TestDisjointPathsDoNotInterfere(t *testing.T) {
 	e, n := newNet(DefaultConfig())
 	var a, b uint64
-	m := n.Mesh()
+	m := topology.NewMesh(4, 8)
 	// Route 0->1 (top-left) and route in the bottom row share no links.
 	bottomL := m.Tile(0, 7)
 	bottomR := m.Tile(1, 7)
@@ -171,5 +171,67 @@ func TestNoCTracerDisabledByCategory(t *testing.T) {
 	}
 	if tr.Total() != 0 {
 		t.Fatalf("recorded %d events with CatNoC disabled", tr.Total())
+	}
+}
+
+func TestOnDemandRoutingBigMachine(t *testing.T) {
+	// 1024 tiles is beyond topology.RouteTableTiles: the network must skip
+	// the tiles² route table and still deliver with hop-proportional
+	// latency, identically to a precomputed network of the same shape.
+	e := sim.NewEngine()
+	big := New(e, topology.NewMesh(32, 32), DefaultConfig())
+	if big.routes != nil {
+		t.Fatal("1024-tile network should route on demand")
+	}
+	var onDemand uint64
+	big.Send(0, 1023, ControlFlits, func() { onDemand = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if onDemand == 0 {
+		t.Fatal("message not delivered")
+	}
+	// Same route walked twice must contend like the precomputed path does.
+	e2 := sim.NewEngine()
+	big2 := New(e2, topology.NewMesh(32, 32), DefaultConfig())
+	var arr []uint64
+	big2.Send(0, 3, DataFlits, func() { arr = append(arr, e2.Now()) })
+	big2.Send(0, 3, DataFlits, func() { arr = append(arr, e2.Now()) })
+	if err := e2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 2 || arr[1] <= arr[0] {
+		t.Fatalf("on-demand contention wrong: %v", arr)
+	}
+}
+
+func TestCMeshSameRouterUsesLocalLatency(t *testing.T) {
+	e := sim.NewEngine()
+	c := topology.NewCMesh(4, 4, 4)
+	n := New(e, c, DefaultConfig())
+	if got := n.Lookahead(); got != 1 {
+		t.Fatalf("cmesh lookahead = %d, want 1 (zero-hop crossbar)", got)
+	}
+	var at uint64
+	n.Send(0, 3, ControlFlits, func() { at = e.Now() }) // same router
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 1 {
+		t.Fatalf("same-router delivery at %d, want LocalLatency 1", at)
+	}
+}
+
+func TestTorusNetworkDelivers(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, topology.NewTorus(4, 8), DefaultConfig())
+	var at uint64
+	// Wraparound neighbor: one hop on the torus, 3 on a mesh.
+	n.Send(0, 3, ControlFlits, func() { at = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 2 {
+		t.Fatalf("torus wraparound delivery at %d, want one hop (2 cycles)", at)
 	}
 }

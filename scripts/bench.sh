@@ -24,6 +24,11 @@ go test -run '^$' -benchmem \
     -bench '^(BenchmarkEngineEvents|BenchmarkNoCSend|BenchmarkFusedHitChain|BenchmarkSimulatorThroughput|BenchmarkParallelSimulatorThroughput|BenchmarkTelemetryDisabledOverhead|BenchmarkTelemetryEnabledOverhead)$' \
     . >>"$TMP"
 
+echo "running core-count scaling benchmark..." >&2
+go test -run '^$' -benchmem \
+    -bench '^BenchmarkScalingCores$' \
+    . >>"$TMP"
+
 GOVER="$(go version | awk '{print $3}')"
 awk -v gover="$GOVER" '
 /^Benchmark/ {
