@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench bench-compare telemetry-smoke figures eval clean
+.PHONY: all build vet lint staticcheck vulncheck test test-race test-short bench bench-compare telemetry-smoke obs-smoke figures eval clean
 
 all: vet lint build test
 
@@ -54,7 +54,7 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# Run the scheduler + full-simulator benchmarks and write BENCH_6.json
+# Run the scheduler + full-simulator benchmarks and write BENCH_7.json
 # (ns/op, B/op, allocs/op per benchmark). BENCH_1.json is the pre-refactor
 # baseline, BENCH_2.json the table-driven protocol engine, BENCH_3.json the
 # telemetry layer, BENCH_4.json the event-fusion fast path + allocation
@@ -62,13 +62,15 @@ test-short:
 # ParallelSimulatorThroughput; compare it against SimulatorThroughput in the
 # same file — the ratio is only meaningful on a 4+-CPU host), BENCH_6.json
 # the scalable-machine refactor (adds ScalingCores/{32,64,128,256}, whose
-# metric of record is ns per simulated core-cycle). Compare
-# SimulatorThroughput across files and TelemetryDisabledOverhead against
-# SimulatorThroughput within a file (< 2% budget for the disabled telemetry
-# hooks). scripts/bench_compare.sh diffs a fresh run against the newest
-# committed BENCH_*.json.
+# metric of record is ns per simulated core-cycle), BENCH_7.json the
+# host-side observability layer (adds ObsDisabledOverhead/
+# ObsEnabledOverhead). Compare SimulatorThroughput across files, and within
+# a file compare the Telemetry/ObsDisabledOverhead pair against
+# SimulatorThroughput (< 2% budget for disabled telemetry hooks, <= 1% and
+# zero extra allocs for disabled probes). scripts/bench_compare.sh diffs a
+# fresh run against the newest committed BENCH_*.json.
 bench:
-	sh scripts/bench.sh BENCH_6.json
+	sh scripts/bench.sh BENCH_7.json
 
 # Regression guard: fresh bench run compared against the newest committed
 # BENCH_*.json (±15% per benchmark; FusedHitChain must stay 0 allocs/op).
@@ -81,6 +83,13 @@ bench-compare:
 # monotonic sample clock). Offline; runs in CI.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# Host-side observability check: a small same-seed sweep run twice must
+# produce byte-identical redacted run ledgers, the ledger JSONL must pass
+# the schema validator, and -obs must print the engine self-profile.
+# Offline; runs in the nightly CI.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # Regenerate the paper's figures (quick scope).
 figures:

@@ -21,6 +21,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/priority"
 	"repro/internal/sim"
 	"repro/internal/stamp"
@@ -533,6 +534,47 @@ func BenchmarkTelemetryEnabledOverhead(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
 	b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+}
+
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	// The same run as BenchmarkSimulatorThroughput with no EngineProbe
+	// attached: every probe callsite takes its nil-guard branch (one pointer
+	// test per event). Compare against SimulatorThroughput within one BENCH
+	// file — the disabled probes have a <= 1% runtime budget and must add
+	// zero allocations (allocs/op here equals SimulatorThroughput's).
+	spec := telemetryBenchSpec(b)
+	b.ReportAllocs()
+	var cycles, events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ExecuteWith(spec, harness.ExecOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ExecCycles
+		events += res.EventsExecuted
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+func BenchmarkObsEnabledOverhead(b *testing.B) {
+	// The self-profiler on: two host-clock reads plus a histogram update per
+	// event — the price of actually profiling, recorded for the DESIGN.md
+	// §14 trade-off discussion.
+	spec := telemetryBenchSpec(b)
+	b.ReportAllocs()
+	var cycles, observed uint64
+	for i := 0; i < b.N; i++ {
+		p := obs.NewProfiler()
+		res, err := harness.ExecuteWith(spec, harness.ExecOptions{Probe: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.ExecCycles
+		observed += p.Events()
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+	b.ReportMetric(float64(observed)/float64(b.N), "events/op")
 }
 
 // --- tiny helpers (stdlib only, no fmt in hot paths) ---------------------

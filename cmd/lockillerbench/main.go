@@ -9,6 +9,11 @@
 //	lockillerbench -v                # log every completed simulation
 //	lockillerbench -fig 7 -cpuprofile cpu.out -memprofile mem.out
 //	                                 # profile the run (inspect with go tool pprof)
+//	lockillerbench -fig 7 -obs       # stream sweep progress (done/total, ETA) to stderr
+//	lockillerbench -fig 7 -ledger runs.jsonl
+//	                                 # append one schema-versioned JSONL record per run
+//	lockillerbench -fig 7 -par 4 -selfprofile
+//	                                 # print the PDES self-profile after the sweep
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/stamp"
 )
 
@@ -38,6 +44,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = LOCKILLER_WORKERS env, then one per CPU); this is the outer, spec-level budget — divide CPUs between it and any inner -par tile parallelism")
+	obsProgress := flag.Bool("obs", false, "stream sweep progress events (done/total, per-spec wall, ETA) to stderr")
+	ledgerPath := flag.String("ledger", "", "append one JSONL ledger record per simulation to this file")
+	obsRedact := flag.Bool("obs-redact", false, "zero host-derived ledger fields (wall, allocator) for byte-stable diffing")
+	selfProfile := flag.Bool("selfprofile", false, "profile the PDES engine itself and print the report after the sweep")
+	parN := flag.Int("par", 0, "inner tile-parallel workers per simulation (0 = sequential engine)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -70,6 +81,32 @@ func main() {
 
 	r := harness.NewRunner(*seed)
 	r.Workers = harness.DefaultWorkers(*workers)
+	r.Par = *parN
+	if *obsProgress {
+		r.Progress = &obs.TextSink{W: os.Stderr}
+	}
+	if *ledgerPath != "" {
+		r.Ledger = &obs.Ledger{Redact: *obsRedact}
+		// Written on normal exit, like the results cache below; error paths
+		// that os.Exit early drop the partial ledger by design.
+		defer func() {
+			f, err := os.Create(*ledgerPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+				return
+			}
+			defer f.Close()
+			if _, err := r.Ledger.WriteTo(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ledger: wrote %d records to %s\n", r.Ledger.Len(), *ledgerPath)
+		}()
+	}
+	if *selfProfile {
+		r.Profiler = obs.NewProfiler()
+		defer r.Profiler.Render(os.Stderr)
+	}
 	if *cacheFile != "" {
 		if f, err := os.Open(*cacheFile); err == nil {
 			if err := r.Load(f); err != nil {

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	lockillersim -system LockillerTM -workload intruder -threads 8 [-cache small] [-seed 1]
+//	lockillersim -obs                # profile the PDES engine and print the report
+//	lockillersim -ledger run.jsonl   # write this run's ledger record (JSONL)
 //	lockillersim -list
 package main
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/harness"
 	"repro/internal/htm"
+	"repro/internal/obs"
 	"repro/internal/stamp"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -46,6 +49,9 @@ func main() {
 	cores := flag.Int("cores", 0, "scale the machine to N cores on a near-square grid (0 = Table I's 32)")
 	topo := flag.String("topo", "", "interconnect topology: mesh, torus, or cmesh (default: Table I's mesh)")
 	cluster := flag.Int("cluster", 0, "two-level directory cluster size (0 = flat directory)")
+	obsFlag := flag.Bool("obs", false, "profile the PDES engine (host-side) and print the self-profile report")
+	ledgerPath := flag.String("ledger", "", "write this run's ledger record to the file as JSONL")
+	obsRedact := flag.Bool("obs-redact", false, "zero host-derived ledger fields (wall, allocator) for byte-stable diffing")
 	flag.Parse()
 
 	var disableFusion bool
@@ -140,12 +146,35 @@ func main() {
 			Chrome:   *chromePath != "",
 		})
 	}
+	var prof *obs.Profiler
+	if *obsFlag {
+		prof = obs.NewProfiler()
+	}
 	var run *stats.Run
+	timer := obs.StartTimer()
+	mem := obs.TakeMemSnapshot()
 	switch {
 	case *importPath != "" || *threeLevel:
-		run, err = runCustom(spec, tracer, tel, *importPath, *threeLevel)
+		run, err = runCustom(spec, tracer, tel, prof, *importPath, *threeLevel)
 	default:
-		run, err = harness.ExecuteInstrumented(spec, tracer, tel)
+		opts := harness.ExecOptions{Tracer: tracer, Telemetry: tel}
+		if prof != nil { // never wrap a nil *Profiler in the interface
+			opts.Probe = prof
+		}
+		run, err = harness.ExecuteWith(spec, opts)
+	}
+	wall := timer.Elapsed()
+	if *ledgerPath != "" {
+		// Written even when the run failed, so error records land in the
+		// ledger with their error field set.
+		led := &obs.Ledger{Redact: *obsRedact}
+		led.Append(harness.LedgerRecord(spec, run, err, wall, mem.Delta(), false))
+		if werr := writeFile(*ledgerPath, func(f *os.File) error {
+			_, e := led.WriteTo(f)
+			return e
+		}); werr != nil {
+			fatal(werr)
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -216,6 +245,12 @@ func main() {
 			fmt.Printf("trace file: wrote %s (load in ui.perfetto.dev)\n", *chromePath)
 		}
 	}
+	if prof != nil {
+		prof.Render(os.Stdout)
+	}
+	if *ledgerPath != "" {
+		fmt.Printf("ledger    : wrote %s (1 record)\n", *ledgerPath)
+	}
 }
 
 // writeFile creates path, runs write, and closes it, returning the first
@@ -234,7 +269,7 @@ func writeFile(path string, write func(*os.File) error) error {
 
 // runCustom executes a spec with non-standard machine options (replayed
 // programs and/or the three-level protocol organization).
-func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry, importPath string, threeLevel bool) (*stats.Run, error) {
+func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry, prof *obs.Profiler, importPath string, threeLevel bool) (*stats.Run, error) {
 	p := spec.MachineParams()
 	if threeLevel {
 		p.MidSize, p.MidWays = 64*1024, 8
@@ -255,6 +290,9 @@ func runCustom(spec harness.Spec, tracer *trace.Tracer, tel *telemetry.Telemetry
 		Machine: p, HTM: spec.System.HTM, Sync: spec.System.Sync,
 		Threads: len(progs), Seed: spec.Seed, Limit: 4_000_000_000, Tracer: tracer,
 		Telemetry: tel, DisableFusion: spec.DisableFusion, Par: spec.Par,
+	}
+	if prof != nil { // never wrap a nil *Profiler in the interface
+		cfg.Probe = prof
 	}
 	if tel != nil {
 		tel.Meta = telemetry.Meta{

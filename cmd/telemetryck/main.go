@@ -1,15 +1,18 @@
-// Command telemetryck validates telemetry export files against the schemas
-// the telemetry package promises: sorted JSON keys throughout, the metrics
-// document shape (monotonic sample clock, equal-length series, required
-// rates), and the Chrome-trace-event shape Perfetto accepts.
+// Command telemetryck validates observability export files against the
+// schemas their packages promise: the telemetry metrics document (sorted
+// JSON keys, monotonic sample clock, equal-length series, required rates),
+// the Chrome-trace-event shape Perfetto accepts, and the obs run-ledger
+// JSONL shape (schema-versioned, sorted keys per record, records sorted by
+// key).
 //
 // Usage:
 //
-//	telemetryck [-metrics file.json] [-chrometrace file.json]
+//	telemetryck [-metrics file.json] [-chrometrace file.json] [-ledger file.jsonl]
 //
 // At least one flag is required. Exit status is 1 when any file fails
 // validation, with one line per failure on stderr. Used by
-// `make telemetry-smoke` to check real exporter output in CI.
+// `make telemetry-smoke` and `make obs-smoke` to check real exporter
+// output in CI.
 package main
 
 import (
@@ -17,21 +20,25 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	metricsPath := flag.String("metrics", "", "metrics time-series JSON file to validate")
 	chromePath := flag.String("chrometrace", "", "Chrome-trace-event JSON file to validate")
+	ledgerPath := flag.String("ledger", "", "run-ledger JSONL file to validate")
 	flag.Parse()
 
-	if *metricsPath == "" && *chromePath == "" {
-		fmt.Fprintln(os.Stderr, "telemetryck: need -metrics and/or -chrometrace")
+	if *metricsPath == "" && *chromePath == "" && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "telemetryck: need -metrics, -chrometrace, and/or -ledger")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	failed := false
+	// check reports per-file status: a failure in one file must not
+	// suppress the "ok" line of a later, valid one.
 	check := func(path, what string, validate func([]byte) error) {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -39,16 +46,19 @@ func main() {
 			failed = true
 			return
 		}
+		ok := true
 		if err := telemetry.ValidateSortedKeys(data); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetryck: %s: sorted keys: %v\n", path, err)
-			failed = true
+			ok = false
 		}
 		if err := validate(data); err != nil {
 			fmt.Fprintf(os.Stderr, "telemetryck: %s: %s schema: %v\n", path, what, err)
-			failed = true
+			ok = false
 		}
-		if !failed {
+		if ok {
 			fmt.Printf("telemetryck: %s: %s ok (%d bytes)\n", path, what, len(data))
+		} else {
+			failed = true
 		}
 	}
 	if *metricsPath != "" {
@@ -56,6 +66,22 @@ func main() {
 	}
 	if *chromePath != "" {
 		check(*chromePath, "chrome-trace", telemetry.ValidateChromeTrace)
+	}
+	if *ledgerPath != "" {
+		f, err := os.Open(*ledgerPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetryck:", err)
+			failed = true
+		} else {
+			n, err := obs.ValidateLedger(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "telemetryck: %s: ledger schema: %v\n", *ledgerPath, err)
+				failed = true
+			} else {
+				fmt.Printf("telemetryck: %s: ledger ok (%d records)\n", *ledgerPath, n)
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)

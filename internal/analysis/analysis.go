@@ -102,6 +102,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 //	//lockiller:crosstile-ok — crosstile: the cross-tile state access is
 //	                        accepted without a registry entry (e.g. provably
 //	                        dead under the current configurations); say why
+//	//lockiller:hostclock-ok — hostclock: a wall-clock read in package main
+//	                        (CLI banners and the like); say why the value
+//	                        never reaches model state. Honored only in
+//	                        package main — libraries route host time
+//	                        through internal/obs, no exceptions
 //
 // Three further directives are declarative annotations, not suppressions
 // (the stale-waiver audit ignores them):
@@ -123,6 +128,7 @@ const (
 	DirectiveFusePathOK  = "lockiller:fusepath-ok"
 	DirectiveParOK       = "lockiller:par-ok"
 	DirectiveCrossTileOK = "lockiller:crosstile-ok"
+	DirectiveHostClockOK = "lockiller:hostclock-ok"
 
 	DirectiveTileState     = "lockiller:tile-state"
 	DirectiveSharedState   = "lockiller:shared-state"

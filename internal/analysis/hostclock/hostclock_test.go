@@ -1,0 +1,12 @@
+package hostclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hostclock"
+)
+
+func TestHostClock(t *testing.T) {
+	analysistest.RunFixtures(t, hostclock.Analyzer, "testdata")
+}

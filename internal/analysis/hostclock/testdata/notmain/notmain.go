@@ -1,0 +1,10 @@
+// The hostclock-ok waiver is honored only in package main: a library
+// package cannot opt out of the boundary.
+package harness
+
+import "time"
+
+func wall() int64 {
+	t := time.Now() //lockiller:hostclock-ok not honored here // want `time\.Now outside internal/obs \(package "harness"\)`
+	return t.UnixNano()
+}

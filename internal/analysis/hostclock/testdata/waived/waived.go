@@ -1,0 +1,15 @@
+// Package main may waive individual clock reads — a CLI stamping its own
+// output is harmless — but only with the explicit directive.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func report() {
+	at := time.Now() //lockiller:hostclock-ok CLI banner timestamp, never reaches the model
+	fmt.Println("finished at", at)
+	took := time.Since(at) // want `time\.Since outside internal/obs \(package "main"\)`
+	fmt.Println(took)
+}

@@ -139,6 +139,9 @@ const (
 // own tile.
 func (b *Bank) SimTile() int { return b.id }
 
+// ProbeClass implements sim.ProbeClasser for self-profiler reports.
+func (b *Bank) ProbeClass() string { return "bank" }
+
 // OnEvent implements sim.Handler for deferred message re-dispatch and
 // matured memory fetches.
 func (b *Bank) OnEvent(kind uint8, a uint64, p any) {
@@ -217,7 +220,10 @@ func (b *Bank) service(d *dirLine, m *Msg) {
 		return
 	}
 	b.MemFetches++
-	//lockiller:alloc-ok memory-fetch path only; the continuation needs both the directory line and the request
+	// The closure is accepted: memory-fetch path only, and the continuation
+	// needs both the directory line and the request. (evtalloc checks the
+	// closure-scheduling At/After entry points, not typed-event payloads,
+	// so no waiver is needed here.)
 	b.sys.Engine.AfterEvent(b.sys.MemLatency, b, evBankAllocate, uint64(m.Line),
 		func() { b.serviceWithData(d, m) })
 }

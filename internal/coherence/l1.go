@@ -113,6 +113,9 @@ func (l1 *L1) Core() int { return l1.core }
 // tile.
 func (l1 *L1) SimTile() int { return l1.core }
 
+// ProbeClass implements sim.ProbeClasser for self-profiler reports.
+func (l1 *L1) ProbeClass() string { return "l1" }
+
 // Array exposes the data array to tests and stats.
 func (l1 *L1) Array() *cache.Array { return l1.arr }
 

@@ -196,6 +196,9 @@ func (s *System) EventTile(kind uint8, _ uint64, p any) int {
 	return m.Dst
 }
 
+// ProbeClass implements sim.ProbeClasser for self-profiler reports.
+func (s *System) ProbeClass() string { return "noc" }
+
 // OnEvent implements sim.Handler for NoC deliveries and delayed sends.
 func (s *System) OnEvent(kind uint8, _ uint64, p any) {
 	switch kind {

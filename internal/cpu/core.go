@@ -42,6 +42,10 @@ type Core struct {
 	// contFn is the prebound memory-access completion (accessDone), built
 	// once so the per-op Access call allocates no closure.
 	contFn func()
+
+	// fusedRuns counts event-fusion fast-path runs (maximal inline op
+	// chains); collected into stats.Run.FusedRuns after the run.
+	fusedRuns uint64
 }
 
 // Typed-event kinds handled by Core.OnEvent. Each event carries the token
@@ -54,6 +58,9 @@ const (
 // SimTile implements sim.TileOwner: every core event belongs to the core's
 // own tile.
 func (c *Core) SimTile() int { return c.id }
+
+// ProbeClass implements sim.ProbeClasser for self-profiler reports.
+func (c *Core) ProbeClass() string { return "core" }
 
 // OnEvent implements sim.Handler for the core's allocation-free delays.
 func (c *Core) OnEvent(kind uint8, a uint64, _ any) {
@@ -136,7 +143,15 @@ func (c *Core) runOps(ops []Op, i int, tok uint64, done func()) {
 	}
 	if !c.m.Cfg.DisableFusion {
 		var wait bool
-		if i, wait = c.fuseOps(ops, i, tok, done); wait {
+		i0 := i
+		// wait=true means a fast hit applied its effects even though the
+		// index did not advance, so it still counts as a run. The count
+		// feeds the host-side run ledger; it never touches simulated state
+		// (DESIGN.md §10).
+		if i, wait = c.fuseOps(ops, i, tok, done); i > i0 || wait {
+			c.fusedRuns++
+		}
+		if wait {
 			return
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -90,6 +91,11 @@ type Config struct {
 	// metrics series, Chrome-trace spans, and conflict provenance
 	// (internal/telemetry).
 	Telemetry *telemetry.Telemetry
+	// Probe, when non-nil, attaches the host-side engine self-profiler
+	// (internal/obs): per-event-type dispatch wall time and par
+	// coordinator internals. Callers must leave it nil rather than wrap a
+	// nil concrete pointer — a typed nil defeats the engine's nil guards.
+	Probe obs.EngineProbe
 	// Placement binds threads to mesh tiles (default: packed, per paper).
 	Placement Placement
 }
@@ -147,6 +153,9 @@ func NewMachine(cfg Config, label, workload string, programs []Program) *Machine
 	sys := coherence.NewSystem(engine, cfg.Machine, cfg.HTM)
 	if cfg.Par > 0 {
 		engine.SetParGrantWidth(8 * sys.Net.Lookahead())
+	}
+	if cfg.Probe != nil {
+		engine.SetProbe(cfg.Probe)
 	}
 	if cfg.Tracer != nil {
 		cfg.Tracer.Now = engine.Now
@@ -268,6 +277,10 @@ func (m *Machine) collectTraffic() {
 	t.LockAcquisitions = m.Lock.Acquisitions
 	t.LockHandovers = m.Lock.Handovers
 	m.Stats.Transitions = m.Sys.TransitionProfile()
+	m.Stats.EventsExecuted = m.Engine.Executed()
+	for _, c := range m.Cores {
+		m.Stats.FusedRuns += c.fusedRuns
+	}
 }
 
 // DumpState renders a diagnostic snapshot of every core — what each thread

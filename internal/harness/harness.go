@@ -17,6 +17,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/cpu"
 	"repro/internal/htm"
+	"repro/internal/obs"
 	"repro/internal/priority"
 	"repro/internal/stamp"
 	"repro/internal/stats"
@@ -150,6 +151,10 @@ func (s Spec) key() string {
 	return k
 }
 
+// Key returns the spec's memo key — the identity used by the runner's
+// cache, the results file, and the obs run ledger.
+func (s Spec) Key() string { return s.key() }
+
 // GridFor returns the most-square W×H factorization of n tiles with W ≤ H,
 // matching Table I's 4x8 orientation at 32: 64→8x8, 128→8x16, 256→16x16,
 // 512→16x32, 1024→32x32.
@@ -196,17 +201,36 @@ func (s Spec) MachineParams() coherence.Params {
 }
 
 // Execute runs one simulation to completion.
-func Execute(s Spec) (*stats.Run, error) { return ExecuteInstrumented(s, nil, nil) }
+func Execute(s Spec) (*stats.Run, error) { return ExecuteWith(s, ExecOptions{}) }
 
 // ExecuteTraced is Execute with an optional event tracer attached.
 func ExecuteTraced(s Spec, tracer *trace.Tracer) (*stats.Run, error) {
-	return ExecuteInstrumented(s, tracer, nil)
+	return ExecuteWith(s, ExecOptions{Tracer: tracer})
 }
 
 // ExecuteInstrumented is Execute with an optional event tracer and an
 // optional telemetry instance attached. Both may be nil; a non-nil telemetry
 // gets its Meta stamped from the spec and is ready for export after the run.
 func ExecuteInstrumented(s Spec, tracer *trace.Tracer, tel *telemetry.Telemetry) (*stats.Run, error) {
+	return ExecuteWith(s, ExecOptions{Tracer: tracer, Telemetry: tel})
+}
+
+// ExecOptions bundles the optional instrumentation of one execution. The
+// zero value runs bare.
+type ExecOptions struct {
+	// Tracer records simulation events (internal/trace).
+	Tracer *trace.Tracer
+	// Telemetry attaches the simulated-time observability layer; its Meta
+	// is stamped from the spec and it is ready for export after the run.
+	Telemetry *telemetry.Telemetry
+	// Probe attaches the host-side engine self-profiler (internal/obs).
+	// Leave nil rather than wrapping a nil concrete pointer: a typed nil
+	// would defeat the engine's nil guards.
+	Probe obs.EngineProbe
+}
+
+// ExecuteWith runs one simulation with the given instrumentation.
+func ExecuteWith(s Spec, opts ExecOptions) (*stats.Run, error) {
 	p := s.MachineParams()
 	cfg := cpu.Config{
 		Machine:       p,
@@ -215,12 +239,13 @@ func ExecuteInstrumented(s Spec, tracer *trace.Tracer, tel *telemetry.Telemetry)
 		Threads:       s.Threads,
 		Seed:          s.Seed,
 		Limit:         4_000_000_000,
-		Tracer:        tracer,
-		Telemetry:     tel,
+		Tracer:        opts.Tracer,
+		Telemetry:     opts.Telemetry,
+		Probe:         opts.Probe,
 		DisableFusion: s.DisableFusion,
 		Par:           s.Par,
 	}
-	if tel != nil {
+	if tel := opts.Telemetry; tel != nil {
 		tel.Meta = telemetry.Meta{
 			System:   s.System.Name,
 			Threads:  s.Threads,
@@ -239,9 +264,25 @@ type Runner struct {
 	Workers int
 	// Log, when non-nil, receives one line per completed simulation.
 	Log func(string)
+	// Par, when positive, is the default tile-parallel worker count
+	// stamped onto every spec that does not choose its own (Spec.Par ==
+	// 0). It is key-affecting, exactly as if each spec had carried it.
+	Par int
+
+	// Ledger, when non-nil, receives one obs record per execution (and
+	// per cache hit RunAll satisfies from the memo). Appends happen on
+	// the singleflight leader only, so each execution is recorded once.
+	Ledger *obs.Ledger
+	// Progress, when non-nil, receives one event per spec RunAll
+	// completes. Events are serialized and done-counts are monotone.
+	Progress obs.ProgressSink
+	// Profiler, when non-nil, aggregates the engine self-profile across
+	// every execution: each run gets a private probe, merged here when it
+	// finishes.
+	Profiler *obs.Profiler
 
 	// exec runs one spec; tests may replace it before first use. Defaults
-	// to Execute.
+	// to Execute (with the self-profiler probe when Profiler is set).
 	exec func(Spec) (*stats.Run, error)
 
 	mu       sync.Mutex
@@ -256,6 +297,19 @@ type call struct {
 	done chan struct{}
 	res  *stats.Run
 	err  error
+	wall time.Duration
+}
+
+// runAccount describes how one get was satisfied: the host wall time and
+// allocator delta of the execution (zero for cache hits), whether the memo
+// answered, and whether the caller joined another caller's in-flight run.
+// Allocator deltas are process-global readings, so under concurrent sweep
+// workers the attribution to one spec is approximate by design.
+type runAccount struct {
+	Wall     time.Duration
+	Mem      obs.MemDelta
+	CacheHit bool
+	Shared   bool
 }
 
 // NewRunner creates a runner with DefaultWorkers(0) workers.
@@ -294,9 +348,28 @@ func DefaultWorkers(flagVal int) int {
 	return runtime.NumCPU()
 }
 
+// stamp normalizes a spec for this runner: the runner's seed always wins,
+// and the runner-level Par default applies to specs that don't set their
+// own.
+func (r *Runner) stamp(s Spec) Spec {
+	s.Seed = r.Seed
+	if s.Par == 0 {
+		s.Par = r.Par
+	}
+	return s
+}
+
 func (r *Runner) execute(s Spec) (*stats.Run, error) {
 	if r.exec != nil {
 		return r.exec(s)
+	}
+	if r.Profiler != nil {
+		// Each run gets a private probe (the engine requires single-token
+		// access); the sweep-level aggregate locks on merge.
+		p := obs.NewProfiler()
+		res, err := ExecuteWith(s, ExecOptions{Probe: p})
+		r.Profiler.Merge(p)
+		return res, err
 	}
 	return Execute(s)
 }
@@ -305,17 +378,27 @@ func (r *Runner) execute(s Spec) (*stats.Run, error) {
 // calls for the same spec are coalesced: exactly one executes the
 // simulation, the rest block and share its result.
 func (r *Runner) Get(s Spec) (*stats.Run, error) {
-	s.Seed = r.Seed
+	res, _, err := r.get(s)
+	return res, err
+}
+
+// get is Get plus the host-side accounting: wall time and allocator delta
+// of the execution, measured on the singleflight leader — the one code
+// path every per-spec wall figure (Log line, ledger record, progress
+// event) now comes from. The leader also appends the ledger record, so an
+// execution is recorded exactly once no matter how many callers share it.
+func (r *Runner) get(s Spec) (*stats.Run, runAccount, error) {
+	s = r.stamp(s)
 	k := s.key()
 	r.mu.Lock()
 	if res, ok := r.results[k]; ok {
 		r.mu.Unlock()
-		return res, nil
+		return res, runAccount{CacheHit: true}, nil
 	}
 	if c, ok := r.inflight[k]; ok {
 		r.mu.Unlock()
 		<-c.done
-		return c.res, c.err
+		return c.res, runAccount{Wall: c.wall, Shared: true}, c.err
 	}
 	c := &call{done: make(chan struct{})}
 	if r.inflight == nil {
@@ -324,11 +407,17 @@ func (r *Runner) Get(s Spec) (*stats.Run, error) {
 	r.inflight[k] = c
 	r.mu.Unlock()
 
+	timer := obs.StartTimer()
+	mem := obs.TakeMemSnapshot()
 	res, err := r.execute(s)
+	acct := runAccount{Wall: timer.Elapsed(), Mem: mem.Delta()}
 	if err != nil {
 		err = fmt.Errorf("harness: %s: %w", k, err)
 	}
-	c.res, c.err = res, err
+	if r.Ledger != nil {
+		r.Ledger.Append(LedgerRecord(s, res, err, acct.Wall, acct.Mem, false))
+	}
+	c.res, c.err, c.wall = res, err, acct.Wall
 	r.mu.Lock()
 	if err == nil {
 		r.results[k] = res
@@ -336,27 +425,113 @@ func (r *Runner) Get(s Spec) (*stats.Run, error) {
 	delete(r.inflight, k)
 	r.mu.Unlock()
 	close(c.done)
-	return res, err
+	return res, acct, err
+}
+
+// LedgerRecord builds the obs ledger record for one spec outcome. Shared
+// by the runner and lockillersim's single-run -ledger mode so the schema
+// is populated from exactly one place.
+func LedgerRecord(s Spec, res *stats.Run, err error, wall time.Duration, mem obs.MemDelta, cacheHit bool) obs.Record {
+	rec := obs.Record{
+		CacheHit:        cacheHit,
+		Key:             s.Key(),
+		ParWorkers:      s.Par,
+		Seed:            s.Seed,
+		WallNS:          int64(wall),
+		GCCycles:        mem.GCCycles,
+		HeapAllocBytes:  mem.HeapAllocBytes,
+		Mallocs:         mem.Mallocs,
+		TotalAllocBytes: mem.TotalAllocBytes,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if res != nil {
+		rec.Events = res.EventsExecuted
+		rec.ExecCycles = res.ExecCycles
+		rec.FusedRuns = res.FusedRuns
+	}
+	return rec
+}
+
+// sweep serializes one RunAll's progress accounting: done-counts are
+// monotone, sink calls never overlap, and the ETA extrapolates from the
+// mean pace on the monotonic clock.
+type sweep struct {
+	r     *Runner
+	total int
+	timer obs.Timer
+	mu    sync.Mutex
+	done  int
+}
+
+func (r *Runner) newSweep(total int) *sweep {
+	return &sweep{r: r, total: total, timer: obs.StartTimer()}
+}
+
+func (w *sweep) emit(key string, acct runAccount, err error) {
+	if w.r.Progress == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.done++
+	elapsed := w.timer.Elapsed()
+	var eta time.Duration
+	if rem := w.total - w.done; rem > 0 {
+		eta = elapsed / time.Duration(w.done) * time.Duration(rem)
+	}
+	e := obs.ProgressEvent{
+		Done: w.done, Total: w.total, Key: key,
+		CacheHit: acct.CacheHit, Wall: acct.Wall,
+		Elapsed: elapsed, ETA: eta,
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	w.r.Progress.Event(e)
 }
 
 // RunAll executes all specs in parallel. Every failing spec contributes an
 // error (wrapped with its key) to the returned errors.Join aggregate;
-// successful results are retrieved afterwards via Get (memoized).
+// successful results are retrieved afterwards via Get (memoized). Specs
+// the memo already holds still count toward the sweep's progress total and
+// produce cache-hit ledger records, so a resumed sweep's ledger covers the
+// whole matrix.
 func (r *Runner) RunAll(specs []Spec) error {
-	// Deduplicate up front so workers never race to run the same spec.
+	// Deduplicate up front so workers never race to run the same spec,
+	// and split cached specs out so they are accounted without executing.
 	seen := make(map[string]bool)
-	var todo []Spec
+	var todo, cached []Spec
 	for _, s := range specs {
-		s.Seed = r.Seed
+		s = r.stamp(s)
+		k := s.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
 		r.mu.Lock()
-		_, have := r.results[s.key()]
+		_, have := r.results[k]
 		r.mu.Unlock()
-		if !have && !seen[s.key()] {
-			seen[s.key()] = true
+		if have {
+			cached = append(cached, s)
+		} else {
 			todo = append(todo, s)
 		}
 	}
 	sort.Slice(todo, func(i, j int) bool { return todo[i].key() < todo[j].key() })
+	sort.Slice(cached, func(i, j int) bool { return cached[i].key() < cached[j].key() })
+
+	sw := r.newSweep(len(todo) + len(cached))
+	for _, s := range cached {
+		r.mu.Lock()
+		res := r.results[s.key()]
+		r.mu.Unlock()
+		if r.Ledger != nil {
+			r.Ledger.Append(LedgerRecord(s, res, nil, 0, obs.MemDelta{}, true))
+		}
+		sw.emit(s.key(), runAccount{CacheHit: true}, nil)
+	}
 
 	workers := r.Workers
 	if workers <= 0 {
@@ -369,19 +544,18 @@ func (r *Runner) RunAll(specs []Spec) error {
 		go func() {
 			defer wg.Done()
 			for s := range ch {
-				// Get provides the memoization, key-wrapped errors, and
-				// singleflight coalescing with any concurrent direct callers.
-				start := time.Now()
-				res, err := r.Get(s)
+				// get provides the memoization, key-wrapped errors, the
+				// singleflight coalescing with any concurrent direct
+				// callers, and the one wall-time measurement per run.
+				res, acct, err := r.get(s)
 				if err != nil {
 					r.mu.Lock()
 					r.errs = append(r.errs, err)
 					r.mu.Unlock()
-					continue
+				} else if r.Log != nil {
+					r.Log(fmt.Sprintf("%s wall=%s", res, acct.Wall.Round(time.Millisecond)))
 				}
-				if r.Log != nil {
-					r.Log(fmt.Sprintf("%s wall=%s", res, time.Since(start).Round(time.Millisecond)))
-				}
+				sw.emit(s.key(), acct, err)
 			}
 		}()
 	}

@@ -1,0 +1,64 @@
+// Sweep progress streaming: the harness Runner emits one ProgressEvent per
+// completed spec through a pluggable sink. This is the seed of lockillerd's
+// job-progress API — a daemon sink would forward the same events over HTTP.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressEvent describes one completed spec of a sweep.
+type ProgressEvent struct {
+	// Done and Total are the sweep position: Done specs finished out of
+	// Total. Done is monotone — the runner serializes emission.
+	Done, Total int
+	// Key is the completed spec's memo key.
+	Key string
+	// CacheHit reports a memoized result (Wall is then zero).
+	CacheHit bool
+	// Err is the execution error message, "" on success.
+	Err string
+	// Wall is the host wall time of this spec's execution.
+	Wall time.Duration
+	// Elapsed is the wall time since the sweep started; ETA extrapolates
+	// the remaining time from the mean pace so far (monotonic clock).
+	Elapsed, ETA time.Duration
+}
+
+// ProgressSink receives sweep progress. The runner calls Event serially
+// (under its progress lock), so implementations need no synchronization of
+// their own and events arrive with non-decreasing Done.
+type ProgressSink interface {
+	Event(ProgressEvent)
+}
+
+// TextSink renders progress events as single lines, one per completed
+// spec — the -obs view of the CLIs.
+type TextSink struct {
+	W io.Writer
+}
+
+// Event implements ProgressSink.
+func (s *TextSink) Event(e ProgressEvent) {
+	status := fmt.Sprintf("wall=%s", e.Wall.Round(time.Millisecond))
+	switch {
+	case e.Err != "":
+		status = "FAILED"
+	case e.CacheHit:
+		status = "cached"
+	}
+	fmt.Fprintf(s.W, "[%*d/%d] %-40s %s eta=%s\n",
+		digits(e.Total), e.Done, e.Total, e.Key, status, e.ETA.Round(time.Second))
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}

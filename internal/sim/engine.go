@@ -37,6 +37,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // ErrLimitReached is returned by Run when the cycle limit expires before the
@@ -108,6 +110,14 @@ type Engine struct {
 	// mode: events route to per-group queues by ownership and Run drives
 	// the span coordinator instead of the flat loop. See par.go.
 	par *parRuntime
+
+	// probe, when non-nil, observes event dispatch and the par
+	// coordinator on the host clock (internal/obs). Every callsite is
+	// nil-guarded (enforced by the hostclock lint rule), so the disabled
+	// cost is one pointer test per event. Probe methods run on whichever
+	// goroutine holds the execution token — never two at once — so the
+	// probe needs no locking (DESIGN.md §14).
+	probe obs.EngineProbe
 
 	// Watchdog state: the engine aborts a Run if no progress callback fires
 	// within Watchdog cycles. Components that make forward progress (e.g. a
@@ -203,6 +213,29 @@ func (e *Engine) AdvanceTo(t uint64) {
 	e.now = t
 }
 
+// SetProbe attaches (or, with nil, detaches) the host-side engine probe.
+// It must be set before Run: the par workers read it without locks, which
+// is safe only because it is immutable for the duration of a run.
+func (e *Engine) SetProbe(p obs.EngineProbe) { e.probe = p }
+
+// ProbeClasser lets a Handler name itself in self-profiler reports.
+// Handlers that don't implement it are classed "event".
+type ProbeClasser interface {
+	ProbeClass() string
+}
+
+// probeClassOf derives the profiling class of an event: closures have no
+// handler to ask, typed events use the handler's ProbeClass when offered.
+func probeClassOf(ev *event) string {
+	if ev.fn != nil {
+		return "closure"
+	}
+	if pc, ok := ev.h.(ProbeClasser); ok {
+		return pc.ProbeClass()
+	}
+	return "event"
+}
+
 // exec runs one popped event's callback.
 func (e *Engine) exec(ev *event) {
 	if ev.fn != nil {
@@ -210,6 +243,18 @@ func (e *Engine) exec(ev *event) {
 	} else {
 		ev.h.OnEvent(ev.kind, ev.a, ev.p)
 	}
+}
+
+// execObserved is exec with the probe bracket. The class lookup and clock
+// reads happen only on the probed path; unprobed runs pay one nil test.
+func (e *Engine) execObserved(ev *event) {
+	if pr := e.probe; pr != nil {
+		pr.EventBegin()
+		e.exec(ev)
+		pr.EventEnd(probeClassOf(ev), ev.kind)
+		return
+	}
+	e.exec(ev)
 }
 
 // Step executes the next pending event, advancing time. It reports whether
@@ -229,7 +274,7 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.when
 	e.executed++
-	e.exec(&ev)
+	e.execObserved(&ev)
 	return true
 }
 
@@ -255,7 +300,7 @@ func (e *Engine) Run(limit uint64) error {
 		ev, _ := e.q.pop(e.now)
 		e.now = ev.when
 		e.executed++
-		e.exec(&ev)
+		e.execObserved(&ev)
 	}
 }
 

@@ -380,20 +380,36 @@ func (p *parRuntime) run(e *Engine, limit uint64) error {
 			// narrow span costs more to hand off than to run here. Inline
 			// execution inserts directly into every queue (the coordinator
 			// is the merge point), so order is exact either way.
+			if pr := e.probe; pr != nil && best.g < 0 {
+				pr.StrandExec()
+			}
 			ev, _ := p.queueFor(best.g).pop(e.now)
 			p.countExecuted(best.g)
 			e.now = ev.when
 			e.executed++
-			e.exec(&ev)
+			e.execObserved(&ev)
 			continue
 		}
 		p.horizonWhen, p.horizonSeq, p.horizonOk = next.when, next.seq, next.ok
 		p.outboxOk = false
 		p.active = best.g
+		var spanBase uint64
+		if pr := e.probe; pr != nil {
+			spanBase = p.groups[best.g].executed
+			width := ^uint64(0) // no later event anywhere: unbounded horizon
+			if next.ok {
+				width = next.when - best.when
+			}
+			pr.Grant(best.g, width)
+		}
 		p.grantCh[best.g] <- grant{limit: limit} //lockiller:par-ok span handoff to the group's worker
 		res := <-p.doneCh                        //lockiller:par-ok span completion returns the token
 		p.active = -1
 		p.spans++
+		if pr := e.probe; pr != nil {
+			pr.SpanEnd(best.g, p.groups[best.g].executed-spanBase)
+			pr.OutboxMerge(len(p.outbox))
+		}
 		p.mergeOutbox(e)
 		if res.err != nil {
 			return res.err
@@ -428,7 +444,7 @@ func (p *parRuntime) runSpan(e *Engine, g int, limit uint64) error {
 		e.now = ev.when
 		e.executed++
 		grp.executed++
-		e.exec(&ev)
+		e.execObserved(&ev)
 	}
 }
 
@@ -436,7 +452,7 @@ func (p *parRuntime) runSpan(e *Engine, g int, limit uint64) error {
 // returns the token (plus any error) when the span ends. It exits when the
 // grant channel closes at the end of a run.
 func (p *parRuntime) workerLoop(e *Engine, g int) {
-	for gr := range p.grantCh[g] { //lockiller:par-ok workers block between spans
+	for gr := range p.grantCh[g] { // workers block between spans (range receive; not a flagged construct)
 		err := p.runSpan(e, g, gr.limit)
 		p.doneCh <- spanResult{err: err} //lockiller:par-ok token returns to the coordinator
 	}

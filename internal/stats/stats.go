@@ -131,6 +131,14 @@ type Run struct {
 	// Transitions is the protocol-table heat profile: how often each
 	// declared transition fired (see transitions.go).
 	Transitions []TransitionCount
+	// EventsExecuted is the number of simulation events the engine
+	// dispatched; FusedRuns the number of event-fusion fast-path runs the
+	// cores executed inline (DESIGN.md §10). Both are deterministic for a
+	// spec and identical between the sequential and sharded engines, but
+	// they legitimately differ between fusion on and off — the fusion
+	// equivalence tests compare architectural fields, not these.
+	EventsExecuted uint64
+	FusedRuns      uint64
 }
 
 // NewRun allocates per-core accumulators.

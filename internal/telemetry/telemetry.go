@@ -146,6 +146,9 @@ func (t *Telemetry) Start(engine *sim.Engine, cores int) {
 	engine.AfterEvent(t.cfg.Interval, t, evSampleTick, 0, nil)
 }
 
+// ProbeClass implements sim.ProbeClasser for self-profiler reports.
+func (t *Telemetry) ProbeClass() string { return "telemetry" }
+
 // OnEvent implements sim.Handler: take one sample, then reschedule. The
 // tick stops rescheduling once it is the only event left — the simulation
 // proper has drained, and a self-perpetuating tick would keep Engine.Run

@@ -21,7 +21,7 @@ go test -run '^$' -benchmem \
 
 echo "running component and full-sim benchmarks..." >&2
 go test -run '^$' -benchmem \
-    -bench '^(BenchmarkEngineEvents|BenchmarkNoCSend|BenchmarkFusedHitChain|BenchmarkSimulatorThroughput|BenchmarkParallelSimulatorThroughput|BenchmarkTelemetryDisabledOverhead|BenchmarkTelemetryEnabledOverhead)$' \
+    -bench '^(BenchmarkEngineEvents|BenchmarkNoCSend|BenchmarkFusedHitChain|BenchmarkSimulatorThroughput|BenchmarkParallelSimulatorThroughput|BenchmarkTelemetryDisabledOverhead|BenchmarkTelemetryEnabledOverhead|BenchmarkObsDisabledOverhead|BenchmarkObsEnabledOverhead)$' \
     . >>"$TMP"
 
 echo "running core-count scaling benchmark..." >&2
