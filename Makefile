@@ -54,7 +54,7 @@ test-race:
 test-short:
 	$(GO) test -short ./...
 
-# Run the scheduler + full-simulator benchmarks and write BENCH_7.json
+# Run the scheduler + full-simulator benchmarks and write BENCH_8.json
 # (ns/op, B/op, allocs/op per benchmark). BENCH_1.json is the pre-refactor
 # baseline, BENCH_2.json the table-driven protocol engine, BENCH_3.json the
 # telemetry layer, BENCH_4.json the event-fusion fast path + allocation
@@ -64,13 +64,17 @@ test-short:
 # the scalable-machine refactor (adds ScalingCores/{32,64,128,256}, whose
 # metric of record is ns per simulated core-cycle), BENCH_7.json the
 # host-side observability layer (adds ObsDisabledOverhead/
-# ObsEnabledOverhead). Compare SimulatorThroughput across files, and within
-# a file compare the Telemetry/ObsDisabledOverhead pair against
-# SimulatorThroughput (< 2% budget for disabled telemetry hooks, <= 1% and
-# zero extra allocs for disabled probes). scripts/bench_compare.sh diffs a
-# fresh run against the newest committed BENCH_*.json.
+# ObsEnabledOverhead), BENCH_8.json machine reuse (adds
+# MachineConstruction/MachineReset — reset must stay >= 5x cheaper than
+# construction — and SweepThroughput/reuse={off,on}, the end-to-end sweep
+# wall with and without the machine pool). Compare SimulatorThroughput
+# across files, and within a file compare the Telemetry/ObsDisabledOverhead
+# pair against SimulatorThroughput (< 2% budget for disabled telemetry
+# hooks, <= 1% and zero extra allocs for disabled probes).
+# scripts/bench_compare.sh diffs a fresh run against the newest committed
+# BENCH_*.json.
 bench:
-	sh scripts/bench.sh BENCH_7.json
+	sh scripts/bench.sh BENCH_8.json
 
 # Regression guard: fresh bench run compared against the newest committed
 # BENCH_*.json (±15% per benchmark; FusedHitChain must stay 0 allocs/op).

@@ -14,6 +14,11 @@
 //	                                 # append one schema-versioned JSONL record per run
 //	lockillerbench -fig 7 -par 4 -selfprofile
 //	                                 # print the PDES self-profile after the sweep
+//	lockillerbench -fig 7 -results out/cache
+//	                                 # persistent content-addressed result cache (a
+//	                                 # .json path selects the legacy snapshot file)
+//	lockillerbench -fig 7 -reuse off # rebuild every machine instead of resetting
+//	                                 # pooled ones (bit-identical; diagnostic)
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -40,7 +46,7 @@ func main() {
 	check := flag.Bool("check", false, "evaluate the paper's qualitative claims (PASS/FAIL) and exit")
 	scaling := flag.Bool("scaling", false, "run the core-count scaling sweep (threads = cores, 32..256)")
 	scalingWl := flag.String("scaling-workload", "intruder", "workload for the -scaling sweep")
-	cacheFile := flag.String("results", "", "persist simulation results to this JSON file (loaded first, saved after)")
+	cacheFile := flag.String("results", "", "persist simulation results: a .json path is a snapshot file (loaded first, saved after); any other path is a content-addressed cache directory (e.g. out/cache), written incrementally")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = LOCKILLER_WORKERS env, then one per CPU); this is the outer, spec-level budget — divide CPUs between it and any inner -par tile parallelism")
@@ -49,6 +55,7 @@ func main() {
 	obsRedact := flag.Bool("obs-redact", false, "zero host-derived ledger fields (wall, allocator) for byte-stable diffing")
 	selfProfile := flag.Bool("selfprofile", false, "profile the PDES engine itself and print the report after the sweep")
 	parN := flag.Int("par", 0, "inner tile-parallel workers per simulation (0 = sequential engine)")
+	reuse := flag.String("reuse", "on", "machine reuse across sweep points: on or off (results are bit-identical either way; off rebuilds every machine and exists as a diagnostic escape hatch)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -82,6 +89,14 @@ func main() {
 	r := harness.NewRunner(*seed)
 	r.Workers = harness.DefaultWorkers(*workers)
 	r.Par = *parN
+	switch *reuse {
+	case "on":
+	case "off":
+		r.Reuse = false
+	default:
+		fmt.Fprintf(os.Stderr, "lockillerbench: unknown -reuse value %q (want on or off)\n", *reuse)
+		os.Exit(2)
+	}
 	if *obsProgress {
 		r.Progress = &obs.TextSink{W: os.Stderr}
 	}
@@ -107,12 +122,17 @@ func main() {
 		r.Profiler = obs.NewProfiler()
 		defer r.Profiler.Render(os.Stderr)
 	}
-	if *cacheFile != "" {
+	switch {
+	case *cacheFile == "":
+	case strings.HasSuffix(*cacheFile, ".json"):
+		// Legacy snapshot mode: one JSON file, loaded up front (with
+		// per-record key validation) and rewritten on normal exit.
 		if f, err := os.Open(*cacheFile); err == nil {
-			if err := r.Load(f); err != nil {
+			rep, err := r.Load(f)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "lockillerbench: ignoring results cache:", err)
 			} else {
-				fmt.Fprintf(os.Stderr, "loaded %d cached results\n", r.Cached())
+				fmt.Fprintf(os.Stderr, "results: %s\n", rep)
 			}
 			f.Close()
 		}
@@ -127,6 +147,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, "lockillerbench:", err)
 			}
 		}()
+	default:
+		// Content-addressed store: every fresh result is written the
+		// moment it finishes, keyed by (key, seed, schema version), so
+		// interrupted sweeps lose nothing and repeat sweeps are near-free.
+		d, err := harness.OpenDiskCache(*cacheFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockillerbench:", err)
+			os.Exit(1)
+		}
+		r.Disk = d
+		fmt.Fprintf(os.Stderr, "results: content-addressed cache at %s\n", d.Dir())
 	}
 	if *verbose {
 		r.Log = func(s string) { fmt.Fprintln(os.Stderr, "  run:", s) }

@@ -7,6 +7,7 @@
 //	lockillersim -system LockillerTM -workload intruder -threads 8 [-cache small] [-seed 1]
 //	lockillersim -obs                # profile the PDES engine and print the report
 //	lockillersim -ledger run.jsonl   # write this run's ledger record (JSONL)
+//	lockillersim -results out/cache  # check/fill the content-addressed result cache
 //	lockillersim -list
 package main
 
@@ -49,6 +50,7 @@ func main() {
 	cores := flag.Int("cores", 0, "scale the machine to N cores on a near-square grid (0 = Table I's 32)")
 	topo := flag.String("topo", "", "interconnect topology: mesh, torus, or cmesh (default: Table I's mesh)")
 	cluster := flag.Int("cluster", 0, "two-level directory cluster size (0 = flat directory)")
+	resultsDir := flag.String("results", "", "content-addressed result cache directory shared with lockillerbench (checked before running, stored after; ignored for instrumented or custom runs)")
 	obsFlag := flag.Bool("obs", false, "profile the PDES engine (host-side) and print the self-profile report")
 	ledgerPath := flag.String("ledger", "", "write this run's ledger record to the file as JSONL")
 	obsRedact := flag.Bool("obs-redact", false, "zero host-derived ledger fields (wall, allocator) for byte-stable diffing")
@@ -150,25 +152,49 @@ func main() {
 	if *obsFlag {
 		prof = obs.NewProfiler()
 	}
+	// The disk cache only serves the plain execution path: instrumented or
+	// custom runs produce side outputs (traces, telemetry, profiles) a
+	// cached stats.Run cannot reproduce, and import/threelevel runs are not
+	// captured by the spec key at all.
+	var disk *harness.DiskCache
+	cacheable := *importPath == "" && !*threeLevel && tracer == nil && tel == nil && prof == nil
+	if *resultsDir != "" && cacheable {
+		if disk, err = harness.OpenDiskCache(*resultsDir); err != nil {
+			fatal(err)
+		}
+	}
 	var run *stats.Run
+	cacheSrc := ""
 	timer := obs.StartTimer()
 	mem := obs.TakeMemSnapshot()
 	switch {
 	case *importPath != "" || *threeLevel:
 		run, err = runCustom(spec, tracer, tel, prof, *importPath, *threeLevel)
 	default:
-		opts := harness.ExecOptions{Tracer: tracer, Telemetry: tel}
-		if prof != nil { // never wrap a nil *Profiler in the interface
-			opts.Probe = prof
+		if disk != nil {
+			if cached, ok := disk.Load(spec.Key(), *seed); ok {
+				run, cacheSrc = cached, "disk"
+			}
 		}
-		run, err = harness.ExecuteWith(spec, opts)
+		if run == nil {
+			opts := harness.ExecOptions{Tracer: tracer, Telemetry: tel}
+			if prof != nil { // never wrap a nil *Profiler in the interface
+				opts.Probe = prof
+			}
+			run, err = harness.ExecuteWith(spec, opts)
+			if err == nil && disk != nil {
+				if serr := disk.Store(spec.Key(), *seed, run); serr != nil {
+					fmt.Fprintln(os.Stderr, "lockillersim:", serr)
+				}
+			}
+		}
 	}
 	wall := timer.Elapsed()
 	if *ledgerPath != "" {
 		// Written even when the run failed, so error records land in the
 		// ledger with their error field set.
 		led := &obs.Ledger{Redact: *obsRedact}
-		led.Append(harness.LedgerRecord(spec, run, err, wall, mem.Delta(), false))
+		led.Append(harness.LedgerRecord(spec, run, err, wall, mem.Delta(), cacheSrc))
 		if werr := writeFile(*ledgerPath, func(f *os.File) error {
 			_, e := led.WriteTo(f)
 			return e
@@ -183,6 +209,9 @@ func main() {
 	engineDesc := "sequential"
 	if parN > 0 {
 		engineDesc = fmt.Sprintf("sharded par=%d", parN)
+	}
+	if cacheSrc != "" {
+		fmt.Printf("cached    : %s (%s)\n", cacheSrc, *resultsDir)
 	}
 	fmt.Printf("system    : %s\nworkload  : %s\nthreads   : %d\ncache     : %s\nengine    : %s\n",
 		sys.Name, wl.Name, *threads, cache.Name, engineDesc)

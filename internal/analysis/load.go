@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -162,7 +164,10 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses the non-test Go files of dir in filename order.
+// parseDir parses the non-test Go files of dir in filename order. Files
+// excluded by a //go:build constraint under the default tag set (GOOS,
+// GOARCH, compiler, release tags — no custom tags) are skipped, matching
+// what `go build` with no -tags flag would compile.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -184,9 +189,40 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildIncluded(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	return files, nil
+}
+
+// buildIncluded reports whether the file's //go:build constraint (if any)
+// is satisfied by the default build-tag set: target OS/arch, the gc
+// compiler, and every go1.x release tag. Custom tags (build-tagged test
+// fixtures like the cpu reuseforget shim) evaluate false, exactly as in an
+// untagged `go build`.
+func buildIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == runtime.Compiler || tag == "unix" ||
+					strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // Expand resolves package patterns to import paths. Supported patterns:

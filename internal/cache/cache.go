@@ -62,6 +62,11 @@ type Entry struct {
 	// transaction's read and/or write set.
 	TxRead  bool
 	TxWrite bool
+	// gen is the array generation this entry was written under. An entry
+	// whose generation trails the array's reads as Invalid, which is how
+	// Array.Reset invalidates every line without touching the backing
+	// (it fills the struct's existing padding, so Entry stays 24 bytes).
+	gen uint32
 	// lru is a per-array timestamp for least-recently-used replacement.
 	lru uint64
 }
@@ -76,11 +81,41 @@ type Array struct {
 	ways    int
 	entries []Entry // sets*ways, row-major by set
 	clock   uint64
+	gen     uint32 // current generation; entries with e.gen != gen are stale
 }
+
+// Arena bump-allocates Entry backings so every array of one machine comes
+// out of a single allocation (the machine-construction arena). A nil Arena
+// — or one that runs out — falls back to private allocations, so callers
+// never need to size it exactly.
+type Arena struct {
+	backing []Entry
+}
+
+// NewArena preallocates backing for the given total line count.
+func NewArena(lines int) *Arena { return &Arena{backing: make([]Entry, lines)} }
+
+// alloc carves n entries off the arena (full-capacity slice so appends can
+// never bleed into a neighbour's backing).
+func (ar *Arena) alloc(n int) []Entry {
+	if ar == nil || len(ar.backing) < n {
+		return make([]Entry, n)
+	}
+	s := ar.backing[:n:n]
+	ar.backing = ar.backing[n:]
+	return s
+}
+
+// LinesFor returns the entry count an array of sizeBytes occupies — the
+// unit Arena sizing is computed in.
+func LinesFor(sizeBytes int) int { return sizeBytes / mem.LineBytes }
 
 // NewArray builds an array of the given total size in bytes with the given
 // associativity (line size fixed at 64 B). Sizes must divide evenly.
-func NewArray(sizeBytes, ways int) *Array {
+func NewArray(sizeBytes, ways int) *Array { return NewArrayIn(nil, sizeBytes, ways) }
+
+// NewArrayIn is NewArray with the entry backing carved from the arena.
+func NewArrayIn(ar *Arena, sizeBytes, ways int) *Array {
 	lines := sizeBytes / mem.LineBytes
 	if lines <= 0 || ways <= 0 || lines%ways != 0 {
 		panic(fmt.Sprintf("cache: invalid geometry size=%d ways=%d", sizeBytes, ways))
@@ -89,7 +124,43 @@ func NewArray(sizeBytes, ways int) *Array {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &Array{sets: sets, ways: ways, entries: make([]Entry, lines)}
+	return &Array{sets: sets, ways: ways, entries: ar.alloc(lines)}
+}
+
+// Reset invalidates every line in place by bumping the array generation:
+// stale entries read as Invalid everywhere and are normalized lazily when
+// Victim hands one out. O(1) in array size; the uint32 wrap (once per 2^32
+// resets) falls back to rewriting the backing so old generations can never
+// alias the new one.
+func (a *Array) Reset() {
+	a.gen++
+	if a.gen == 0 {
+		for i := range a.entries {
+			a.entries[i] = Entry{}
+		}
+	}
+	a.clock = 0
+}
+
+// Pristine reports whether the array holds no live line and its LRU clock
+// is at its initial value — the state a fresh array and a Reset array
+// share. Used by the machine-reset deep-state walk.
+func (a *Array) Pristine() bool {
+	if a.clock != 0 {
+		return false
+	}
+	for i := range a.entries {
+		e := &a.entries[i]
+		if e.State != Invalid && e.gen == a.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// SameShape reports whether two arrays have identical geometry.
+func (a *Array) SameShape(b *Array) bool {
+	return a.sets == b.sets && a.ways == b.ways
 }
 
 // Sets returns the number of sets; Ways the associativity; Lines capacity.
@@ -109,7 +180,7 @@ func (a *Array) Lookup(l mem.Line) *Entry {
 	for i := range s {
 		// Tag compare first: ways that miss (the common case) fall through
 		// on a single predictable uint64 compare.
-		if s[i].Line == l && s[i].State != Invalid {
+		if s[i].Line == l && s[i].State != Invalid && s[i].gen == a.gen {
 			a.clock++
 			s[i].lru = a.clock
 			return &s[i]
@@ -123,7 +194,7 @@ func (a *Array) Lookup(l mem.Line) *Entry {
 func (a *Array) Peek(l mem.Line) *Entry {
 	s := a.set(a.SetOf(l))
 	for i := range s {
-		if s[i].Line == l && s[i].State != Invalid {
+		if s[i].Line == l && s[i].State != Invalid && s[i].gen == a.gen {
 			return &s[i]
 		}
 	}
@@ -141,6 +212,13 @@ func (a *Array) Victim(l mem.Line, avoid func(*Entry) bool) *Entry {
 	var best *Entry
 	for i := range s {
 		e := &s[i]
+		if e.gen != a.gen {
+			// Stale generation: logically Invalid. Normalize before handing
+			// it out so callers that inspect the victim's fields (demotion,
+			// eviction) see a genuinely empty way.
+			*e = Entry{gen: a.gen}
+			return e
+		}
 		if e.State == Invalid {
 			return e
 		}
@@ -165,14 +243,14 @@ func (a *Array) AnyVictim(l mem.Line) *Entry { return a.Victim(l, nil) }
 // the previous occupant) and refreshes LRU.
 func (a *Array) Install(e *Entry, l mem.Line, st State) {
 	a.clock++
-	*e = Entry{Line: l, State: st, lru: a.clock}
+	*e = Entry{Line: l, State: st, lru: a.clock, gen: a.gen}
 }
 
 // ForEach visits every non-Invalid entry. The visitor must not install or
 // evict lines.
 func (a *Array) ForEach(fn func(*Entry)) {
 	for i := range a.entries {
-		if a.entries[i].State != Invalid {
+		if a.entries[i].State != Invalid && a.entries[i].gen == a.gen {
 			fn(&a.entries[i])
 		}
 	}
@@ -182,6 +260,9 @@ func (a *Array) ForEach(fn func(*Entry)) {
 // used by stats and by progression-based priority (LosaTM).
 func (a *Array) CountTx() (reads, writes int) {
 	for i := range a.entries {
+		if a.entries[i].gen != a.gen {
+			continue
+		}
 		if a.entries[i].TxRead {
 			reads++
 		}
@@ -204,7 +285,7 @@ func (a *Array) ClearTx(invalidateWrites bool) (dropped []mem.Line) {
 		if !e.TxRead && !e.TxWrite {
 			continue
 		}
-		if e.State == Invalid {
+		if e.State == Invalid || e.gen != a.gen {
 			continue
 		}
 		if invalidateWrites && e.TxWrite {

@@ -74,13 +74,26 @@ type Bank struct {
 	ClusterRounds                                       uint64
 }
 
-func newBank(sys *System, id int, sizeBytes, ways int) *Bank {
+func newBank(sys *System, id int, sizeBytes, ways int, arena *cache.Arena) *Bank {
 	return &Bank{
 		sys: sys,
 		id:  id,
-		arr: cache.NewArray(sizeBytes, ways),
+		arr: cache.NewArrayIn(arena, sizeBytes, ways),
 		dir: newDirTable(dirTableCap),
 	}
+}
+
+// reset returns the bank to its just-constructed state in place (machine
+// reset between runs; see System.Reset for the contract). The LLC array
+// keeps its backing (generation reset), the directory table keeps its grown
+// capacity and recycles its live lines, and the pending free list stays
+// warm.
+func (b *Bank) reset() {
+	b.arr.Reset()
+	b.dir.reset()
+	b.collects = b.collects[:0]
+	b.Requests, b.Rejections, b.Nacks, b.MemFetches, b.BackInvals = 0, 0, 0, 0, 0
+	b.ClusterRounds = 0
 }
 
 // frame converts a line homed at this bank into its bank-local frame

@@ -86,18 +86,45 @@ type L1 struct {
 	SwitchGrants                   uint64
 }
 
-func newL1(sys *System, core int) *L1 {
+func newL1(sys *System, core int, arena *cache.Arena) *L1 {
 	l1 := &L1{
 		sys:   sys,
 		core:  core,
-		arr:   cache.NewArray(sys.L1Size, sys.L1Ways),
+		arr:   cache.NewArrayIn(arena, sys.L1Size, sys.L1Ways),
 		Tx:    &htm.TxState{Core: core, Cfg: sys.HTM},
 		mshrs: newMshrTable(mshrTableCap),
 	}
 	if sys.MidSize > 0 {
-		l1.mid = cache.NewArray(sys.MidSize, sys.MidWays)
+		l1.mid = cache.NewArrayIn(arena, sys.MidSize, sys.MidWays)
 	}
 	return l1
+}
+
+// reset returns the L1 to its just-constructed state in place (machine
+// reset between runs; see System.Reset for the contract). Warm capacity
+// survives: the cache arrays keep their backings (generation reset), the
+// MSHR table keeps its grown slot count, and the MSHR free list keeps its
+// pooled entries — parkSeq deliberately survives, exactly as it does across
+// newMshr recycling, because every check against it is an equality. The
+// abort epoch restarts at zero so park-retry payload words (epoch<<32|seq)
+// rebuild identically to a fresh machine's.
+func (l1 *L1) reset() {
+	l1.arr.Reset()
+	if l1.mid != nil {
+		l1.mid.Reset()
+	}
+	l1.Tx.ResetHard()
+	l1.epoch = 0
+	l1.mshrs.reset(l1.freeMshr)
+	l1.mshrScratch = l1.mshrScratch[:0]
+	l1.applying = false
+	l1.applyCont = nil
+	l1.blockedExt = l1.blockedExt[:0]
+	l1.wake.Clear()
+	l1.Hits, l1.Misses, l1.MidHits, l1.TxWBs = 0, 0, 0, 0
+	l1.RejectsSent, l1.RejectsReceived = 0, 0
+	l1.NacksSent, l1.WakesSent = 0, 0
+	l1.OverflowEvictions, l1.SwitchTries, l1.SwitchGrants = 0, 0, 0
 }
 
 // MidArray exposes the middle cache (nil when two-level) to tests.

@@ -1,0 +1,9 @@
+//go:build !reuseforget
+
+package cpu
+
+// resetForget is the hook the reuse-walk fixture test drives: under the
+// reuseforget build tag it deliberately skips part of Machine.Reset so the
+// tagged test can prove ResetDiff catches a forgotten field. In normal
+// builds it is a no-op the compiler erases.
+func resetForget(*Machine) {}

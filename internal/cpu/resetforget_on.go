@@ -1,0 +1,9 @@
+//go:build reuseforget
+
+package cpu
+
+// resetForget simulates a forgotten field in Machine.Reset — leftover retry
+// state on core 0, exactly the kind of bug a hand-written reset accumulates
+// over time — so the tagged fixture test can assert the reflection walk
+// reports it. Never enabled in normal builds.
+func resetForget(m *Machine) { m.Cores[0].retries = 1 }

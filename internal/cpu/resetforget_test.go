@@ -1,0 +1,32 @@
+//go:build reuseforget
+
+package cpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResetForgetIsCaught proves the reflection walk guards Machine.Reset
+// itself: with the reuseforget tag, resetForget leaves stale retry state on
+// core 0 after every reset, and the walk must name that exact field. Run it
+// as `go test -tags reuseforget -run TestResetForgetIsCaught ./internal/cpu`
+// — the clean-walk tests legitimately fail under this tag, since the shim
+// corrupts every reset.
+func TestResetForgetIsCaught(t *testing.T) {
+	cfg := resetCfg(42)
+	progs := counterProgram(cfg.Threads, 25, 8192)
+	reset := runAndReset(t, cfg, progs)
+	fresh := NewMachine(cfg, "test", "unit", progs)
+	diffs := ResetDiff(fresh, reset)
+	if len(diffs) == 0 {
+		t.Fatal("walk failed to catch the deliberately forgotten field")
+	}
+	for _, d := range diffs {
+		if strings.Contains(d, "retries") {
+			return
+		}
+	}
+	t.Fatalf("walk reported differences but none named the planted field:\n  %s",
+		strings.Join(diffs, "\n  "))
+}

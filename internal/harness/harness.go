@@ -155,6 +155,33 @@ func (s Spec) key() string {
 // cache, the results file, and the obs run ledger.
 func (s Spec) Key() string { return s.key() }
 
+// poolKey identifies the machine *shape* a spec needs: every key-affecting
+// dimension except the workload and seed, which Machine.Reset reprograms.
+// Two specs with the same poolKey can share one constructed machine across
+// resets.
+func (s Spec) poolKey() string {
+	k := fmt.Sprintf("%s|%d|%s", s.System.Name, s.Threads, s.Cache.Name)
+	if s.DisableFusion {
+		k += "|nofuse"
+	}
+	if s.Par > 0 {
+		k += fmt.Sprintf("|par%d", s.Par)
+	}
+	if s.Cores > 0 {
+		k += fmt.Sprintf("|cores%d", s.Cores)
+	}
+	if s.Topo != "" {
+		k += "|topo" + s.Topo
+	}
+	if s.MeshW > 0 || s.MeshH > 0 {
+		k += fmt.Sprintf("|grid%dx%d", s.MeshW, s.MeshH)
+	}
+	if s.ClusterSize > 0 {
+		k += fmt.Sprintf("|cl%d", s.ClusterSize)
+	}
+	return k
+}
+
 // GridFor returns the most-square W×H factorization of n tiles with W ≤ H,
 // matching Table I's 4x8 orientation at 32: 64→8x8, 128→8x16, 256→16x16,
 // 512→16x32, 1024→32x32.
@@ -231,6 +258,13 @@ type ExecOptions struct {
 
 // ExecuteWith runs one simulation with the given instrumentation.
 func ExecuteWith(s Spec, opts ExecOptions) (*stats.Run, error) {
+	return NewMachineFor(s, opts).Run()
+}
+
+// NewMachineFor constructs the machine a spec describes, programmed and
+// ready to Run. The runner's reuse path builds machines here once per shape
+// and Resets them for every later spec with the same poolKey.
+func NewMachineFor(s Spec, opts ExecOptions) *cpu.Machine {
 	p := s.MachineParams()
 	cfg := cpu.Config{
 		Machine:       p,
@@ -253,8 +287,7 @@ func ExecuteWith(s Spec, opts ExecOptions) (*stats.Run, error) {
 		}
 	}
 	progs := stamp.Programs(s.Workload, s.Threads, s.Seed)
-	m := cpu.NewMachine(cfg, s.System.Name, s.Workload.Name, progs)
-	return m.Run()
+	return cpu.NewMachine(cfg, s.System.Name, s.Workload.Name, progs)
 }
 
 // Runner executes specs in parallel with memoization (CGL baselines are
@@ -268,6 +301,18 @@ type Runner struct {
 	// stamped onto every spec that does not choose its own (Spec.Par ==
 	// 0). It is key-affecting, exactly as if each spec had carried it.
 	Par int
+	// Reuse pools constructed machines by shape (Spec.poolKey) and
+	// Resets them in place for each later spec of the same shape instead
+	// of rebuilding (DESIGN.md §15). Key-neutral: reset-then-run is
+	// bit-for-bit identical to fresh-build-then-run, so the flag changes
+	// host wall time and allocations only. Instrumented executions
+	// (Profiler, custom exec) always build fresh.
+	Reuse bool
+	// Disk, when non-nil, is the persistent content-addressed sweep
+	// cache: get() consults it after a memo miss and stores every fresh
+	// successful result. Hits produce ledger records with
+	// cache_src="disk".
+	Disk *DiskCache
 
 	// Ledger, when non-nil, receives one obs record per execution (and
 	// per cache hit RunAll satisfies from the memo). Appends happen on
@@ -289,6 +334,7 @@ type Runner struct {
 	results  map[string]*stats.Run
 	inflight map[string]*call
 	errs     []error
+	pool     machinePool
 }
 
 // call tracks one in-flight execution so concurrent Gets of the same spec
@@ -301,22 +347,29 @@ type call struct {
 }
 
 // runAccount describes how one get was satisfied: the host wall time and
-// allocator delta of the execution (zero for cache hits), whether the memo
-// answered, and whether the caller joined another caller's in-flight run.
-// Allocator deltas are process-global readings, so under concurrent sweep
-// workers the attribution to one spec is approximate by design.
+// allocator delta of the execution (zero for cache hits), which cache
+// answered ("" for fresh executions, "memo" or "disk" otherwise), and
+// whether the caller joined another caller's in-flight run. Allocator
+// deltas are process-global readings, so under concurrent sweep workers
+// the attribution to one spec is approximate by design.
 type runAccount struct {
 	Wall     time.Duration
 	Mem      obs.MemDelta
-	CacheHit bool
+	CacheSrc string
 	Shared   bool
 }
 
-// NewRunner creates a runner with DefaultWorkers(0) workers.
+// hit reports whether any cache satisfied the get.
+func (a runAccount) hit() bool { return a.CacheSrc != "" }
+
+// NewRunner creates a runner with DefaultWorkers(0) workers and machine
+// reuse on (results are bit-identical either way; Reuse=false is the
+// escape hatch).
 func NewRunner(seed uint64) *Runner {
 	return &Runner{
 		Seed:     seed,
 		Workers:  DefaultWorkers(0),
+		Reuse:    true,
 		results:  make(map[string]*stats.Run),
 		inflight: make(map[string]*call),
 	}
@@ -365,13 +418,39 @@ func (r *Runner) execute(s Spec) (*stats.Run, error) {
 	}
 	if r.Profiler != nil {
 		// Each run gets a private probe (the engine requires single-token
-		// access); the sweep-level aggregate locks on merge.
+		// access); the sweep-level aggregate locks on merge. Machine.Reset
+		// refuses observer-attached machines, so the profiled path always
+		// builds fresh and never touches the pool.
 		p := obs.NewProfiler()
 		res, err := ExecuteWith(s, ExecOptions{Probe: p})
 		r.Profiler.Merge(p)
 		return res, err
 	}
+	if r.Reuse {
+		return r.executeReused(s)
+	}
 	return Execute(s)
+}
+
+// executeReused satisfies one spec from the machine pool: take a machine of
+// the right shape and Reset it for this spec's workload and seed, or build
+// one if the pool has none. Machines return to the pool only after a clean
+// run — an errored machine's state is suspect, so it is dropped for the
+// garbage collector.
+func (r *Runner) executeReused(s Spec) (*stats.Run, error) {
+	pk := s.poolKey()
+	m := r.pool.acquire(pk)
+	if m == nil {
+		m = NewMachineFor(s, ExecOptions{})
+	} else {
+		progs := stamp.Programs(s.Workload, s.Threads, s.Seed)
+		m.Reset(s.Seed, s.System.Name, s.Workload.Name, progs)
+	}
+	res, err := m.Run()
+	if err == nil {
+		r.pool.release(pk, m)
+	}
+	return res, err
 }
 
 // Get runs (or returns the memoized result of) a single spec. Concurrent
@@ -393,7 +472,7 @@ func (r *Runner) get(s Spec) (*stats.Run, runAccount, error) {
 	r.mu.Lock()
 	if res, ok := r.results[k]; ok {
 		r.mu.Unlock()
-		return res, runAccount{CacheHit: true}, nil
+		return res, runAccount{CacheSrc: "memo"}, nil
 	}
 	if c, ok := r.inflight[k]; ok {
 		r.mu.Unlock()
@@ -407,15 +486,30 @@ func (r *Runner) get(s Spec) (*stats.Run, runAccount, error) {
 	r.inflight[k] = c
 	r.mu.Unlock()
 
-	timer := obs.StartTimer()
-	mem := obs.TakeMemSnapshot()
-	res, err := r.execute(s)
-	acct := runAccount{Wall: timer.Elapsed(), Mem: mem.Delta()}
+	var res *stats.Run
+	var err error
+	var acct runAccount
+	if r.Disk != nil {
+		if run, ok := r.Disk.Load(k, s.Seed); ok {
+			res, acct = run, runAccount{CacheSrc: "disk"}
+		}
+	}
+	if res == nil {
+		timer := obs.StartTimer()
+		mem := obs.TakeMemSnapshot()
+		res, err = r.execute(s)
+		acct = runAccount{Wall: timer.Elapsed(), Mem: mem.Delta()}
+		if err == nil && r.Disk != nil {
+			if serr := r.Disk.Store(k, s.Seed, res); serr != nil && r.Log != nil {
+				r.Log(fmt.Sprintf("disk cache store failed for %s: %v", k, serr))
+			}
+		}
+	}
 	if err != nil {
 		err = fmt.Errorf("harness: %s: %w", k, err)
 	}
 	if r.Ledger != nil {
-		r.Ledger.Append(LedgerRecord(s, res, err, acct.Wall, acct.Mem, false))
+		r.Ledger.Append(LedgerRecord(s, res, err, acct.Wall, acct.Mem, acct.CacheSrc))
 	}
 	c.res, c.err, c.wall = res, err, acct.Wall
 	r.mu.Lock()
@@ -430,10 +524,12 @@ func (r *Runner) get(s Spec) (*stats.Run, runAccount, error) {
 
 // LedgerRecord builds the obs ledger record for one spec outcome. Shared
 // by the runner and lockillersim's single-run -ledger mode so the schema
-// is populated from exactly one place.
-func LedgerRecord(s Spec, res *stats.Run, err error, wall time.Duration, mem obs.MemDelta, cacheHit bool) obs.Record {
+// is populated from exactly one place. cacheSrc is "" for a fresh
+// execution, "memo" or "disk" for a cache hit.
+func LedgerRecord(s Spec, res *stats.Run, err error, wall time.Duration, mem obs.MemDelta, cacheSrc string) obs.Record {
 	rec := obs.Record{
-		CacheHit:        cacheHit,
+		CacheHit:        cacheSrc != "",
+		CacheSrc:        cacheSrc,
 		Key:             s.Key(),
 		ParWorkers:      s.Par,
 		Seed:            s.Seed,
@@ -483,7 +579,7 @@ func (w *sweep) emit(key string, acct runAccount, err error) {
 	}
 	e := obs.ProgressEvent{
 		Done: w.done, Total: w.total, Key: key,
-		CacheHit: acct.CacheHit, Wall: acct.Wall,
+		CacheHit: acct.hit(), CacheSrc: acct.CacheSrc, Wall: acct.Wall,
 		Elapsed: elapsed, ETA: eta,
 	}
 	if err != nil {
@@ -528,9 +624,9 @@ func (r *Runner) RunAll(specs []Spec) error {
 		res := r.results[s.key()]
 		r.mu.Unlock()
 		if r.Ledger != nil {
-			r.Ledger.Append(LedgerRecord(s, res, nil, 0, obs.MemDelta{}, true))
+			r.Ledger.Append(LedgerRecord(s, res, nil, 0, obs.MemDelta{}, "memo"))
 		}
-		sw.emit(s.key(), runAccount{CacheHit: true}, nil)
+		sw.emit(s.key(), runAccount{CacheSrc: "memo"}, nil)
 	}
 
 	workers := r.Workers

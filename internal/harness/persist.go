@@ -30,27 +30,47 @@ func (r *Runner) Save(w io.Writer) error {
 	return enc.Encode(persistFile{Version: persistVersion, Seed: r.Seed, Results: r.results})
 }
 
+// LoadReport accounts one Load: how many records were merged and how many
+// were rejected because their key failed ParseKey or its round-trip.
+type LoadReport struct {
+	Loaded, Rejected int
+}
+
+func (lr LoadReport) String() string {
+	return fmt.Sprintf("loaded %d cached results (%d rejected)", lr.Loaded, lr.Rejected)
+}
+
 // Load merges previously saved results into the runner. Results saved
-// under a different seed are rejected (they would silently mix workloads).
-func (r *Runner) Load(rd io.Reader) error {
+// under a different seed are rejected wholesale (they would silently mix
+// workloads); individual records are rejected when their key does not
+// parse back into a Spec that reproduces it — a stale or corrupted key
+// must miss, not masquerade as a current result.
+func (r *Runner) Load(rd io.Reader) (LoadReport, error) {
 	var f persistFile
 	if err := json.NewDecoder(rd).Decode(&f); err != nil {
-		return fmt.Errorf("harness: decoding results: %w", err)
+		return LoadReport{}, fmt.Errorf("harness: decoding results: %w", err)
 	}
 	if f.Version != persistVersion {
-		return fmt.Errorf("harness: unsupported results version %d", f.Version)
+		return LoadReport{}, fmt.Errorf("harness: unsupported results version %d", f.Version)
 	}
 	if f.Seed != r.Seed {
-		return fmt.Errorf("harness: cached results use seed %d, runner uses %d", f.Seed, r.Seed)
+		return LoadReport{}, fmt.Errorf("harness: cached results use seed %d, runner uses %d", f.Seed, r.Seed)
 	}
+	var rep LoadReport
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for k, v := range f.Results {
+		s, err := ParseKey(k)
+		if err != nil || s.Key() != k || v == nil {
+			rep.Rejected++
+			continue
+		}
+		rep.Loaded++
 		if _, ok := r.results[k]; !ok {
 			r.results[k] = v
 		}
 	}
-	return nil
+	return rep, nil
 }
 
 // Cached returns the number of memoized results.

@@ -3,11 +3,15 @@ package harness
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/stamp"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	r := NewRunner(7)
-	spec := Spec{System: mustSystem("Baseline"), Workload: tinyProfile(), Threads: 2, Cache: TypicalCache()}
+	// A registry workload, not tinyProfile: Load validates every stored
+	// key via ParseKey, which resolves workloads through stamp.ByName.
+	spec := Spec{System: mustSystem("Baseline"), Workload: stamp.Kmeans(), Threads: 2, Cache: TypicalCache()}
 	orig, err := r.Get(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -18,8 +22,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 
 	r2 := NewRunner(7)
-	if err := r2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+	rep, err := r2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Loaded != 1 || rep.Rejected != 0 {
+		t.Fatalf("LoadReport = %+v, want 1 loaded, 0 rejected", rep)
 	}
 	if r2.Cached() != r.Cached() {
 		t.Fatalf("cached %d vs %d", r2.Cached(), r.Cached())
@@ -50,17 +58,43 @@ func TestLoadRejectsWrongSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	r2 := NewRunner(8)
-	if err := r2.Load(bytes.NewReader(buf.Bytes())); err == nil {
+	if _, err := r2.Load(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("wrong seed must be rejected")
 	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
 	r := NewRunner(1)
-	if err := r.Load(bytes.NewReader([]byte("{"))); err == nil {
+	if _, err := r.Load(bytes.NewReader([]byte("{"))); err == nil {
 		t.Fatal("garbage must be rejected")
 	}
-	if err := r.Load(bytes.NewReader([]byte(`{"version":9}`))); err == nil {
+	if _, err := r.Load(bytes.NewReader([]byte(`{"version":9}`))); err == nil {
 		t.Fatal("wrong version must be rejected")
+	}
+}
+
+// TestLoadRejectsBadKeys pins the per-record validation: records whose keys
+// fail ParseKey (unknown system/workload, malformed or out-of-order
+// suffixes) are counted rejected, never merged, while well-formed siblings
+// in the same file still load.
+func TestLoadRejectsBadKeys(t *testing.T) {
+	r := NewRunner(1)
+	goodKey := Spec{System: mustSystem("CGL"), Workload: stamp.Intruder(),
+		Threads: 2, Cache: TypicalCache(), Seed: 1}.Key()
+	blob := `{"version":1,"seed":1,"results":{` +
+		`"` + goodKey + `":{},` +
+		`"NoSuchSystem|intruder|2|typical|1":{},` +
+		`"CGL|tiny|2|typical|1":{},` +
+		`"CGL|intruder|2|typical|1|par2|nofuse":{},` +
+		`"CGL|intruder|0|typical|1":{}}}`
+	rep, err := r.Load(bytes.NewReader([]byte(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 1 || rep.Rejected != 4 {
+		t.Fatalf("LoadReport = %+v, want 1 loaded, 4 rejected", rep)
+	}
+	if r.Cached() != 1 {
+		t.Fatalf("Cached = %d, want 1", r.Cached())
 	}
 }

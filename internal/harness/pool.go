@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// machinePool keeps a bounded set of constructed machines, keyed by shape
+// (Spec.poolKey), so the runner's reuse path can Reset one in place instead
+// of paying construction for every sweep point. The pool is deliberately
+// small: a sorted sweep revisits the same handful of shapes back to back
+// (one per thread count within a system block), so a short LRU list covers
+// the working set while old systems' machines fall off the end.
+type machinePool struct {
+	mu   sync.Mutex
+	free []pooledMachine // released order: oldest first, newest last
+}
+
+type pooledMachine struct {
+	key string
+	m   *cpu.Machine
+}
+
+// poolCap bounds the total machines held across all shapes. Concurrent
+// workers on the same shape build extras on demand; extras released beyond
+// the cap push the oldest entry out to the garbage collector.
+const poolCap = 8
+
+// acquire takes the most recently released machine of the given shape, or
+// nil if the pool holds none.
+func (p *machinePool) acquire(key string) *cpu.Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if p.free[i].key == key {
+			m := p.free[i].m
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// release returns a machine to the pool after a clean run, evicting the
+// least recently released entry if the pool is full.
+func (p *machinePool) release(key string, m *cpu.Machine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= poolCap {
+		copy(p.free, p.free[1:])
+		p.free = p.free[:len(p.free)-1]
+	}
+	p.free = append(p.free, pooledMachine{key: key, m: m})
+}

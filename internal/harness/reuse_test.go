@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stamp"
+)
+
+// goldenSpecs returns the 16-point golden matrix as runner specs.
+func goldenSpecs() []Spec {
+	var specs []Spec
+	for _, sysName := range []string{"CGL", "Baseline", "LockillerTM-RWI", "LockillerTM"} {
+		for _, wl := range goldenWorkloads() {
+			for _, th := range []int{2, 4} {
+				specs = append(specs, Spec{
+					System: mustSystem(sysName), Workload: wl,
+					Threads: th, Cache: TypicalCache(), Seed: 1,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// checkGolden asserts every matrix cell the runner holds matches the pinned
+// ExecCycles values.
+func checkGolden(t *testing.T, r *Runner) {
+	t.Helper()
+	for _, s := range goldenSpecs() {
+		run, err := r.Get(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := goldenCycles[goldenKey{s.System.Name, s.Workload.Name, s.Threads}]
+		if run.ExecCycles != want {
+			t.Errorf("%s: ExecCycles = %d, want %d (machine reuse changed simulated timing)",
+				s.Key(), run.ExecCycles, want)
+		}
+	}
+}
+
+// TestGoldenCycleCountsReuse pins the reuse bit-identity contract on the
+// golden 16-point matrix: a Reuse runner — whose pool Resets each machine
+// shape for the second workload instead of rebuilding — must reproduce
+// exactly the cycle counts TestGoldenCycleCounts pins for fresh builds.
+// Workers=1 serializes the sweep through one pool, so every shape's second
+// spec is guaranteed to run on a reset machine.
+func TestGoldenCycleCountsReuse(t *testing.T) {
+	for _, reuse := range []bool{true, false} {
+		reuse := reuse
+		t.Run(fmt.Sprintf("reuse=%v", reuse), func(t *testing.T) {
+			t.Parallel()
+			r := NewRunner(1)
+			r.Workers = 1
+			r.Reuse = reuse
+			if err := r.RunAll(goldenSpecs()); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, r)
+		})
+	}
+}
+
+// TestGoldenCycleCountsReusePar repeats the reuse golden matrix on the
+// sharded tile-parallel engine for every evaluated worker count. The par
+// engine is bit-identical to the sequential oracle, so the pinned values
+// hold unchanged; what this adds is reset-then-run coverage of the par
+// runtime's own state (spans, outboxes, coordinator counters).
+func TestGoldenCycleCountsReusePar(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 8} {
+		par := par
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			t.Parallel()
+			r := NewRunner(1)
+			r.Workers = 2
+			r.Par = par
+			if err := r.RunAll(goldenSpecs()); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, r)
+		})
+	}
+}
+
+// TestReuseDifferentialRandom drives randomized specs through a Reuse
+// runner and a fresh build and requires deep equality of the full stats —
+// the randomized half of the bit-identity contract, also run under -race
+// by the nightly reuse-determinism job. Each round runs two workloads of
+// one shape back to back on one pool (Workers=1), so the second result
+// always comes from a reset machine.
+func TestReuseDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	systems := Systems()
+	workloads := stamp.Workloads()
+	caches := []CacheConfig{TypicalCache(), SmallCache()}
+	for round := 0; round < 4; round++ {
+		shape := Spec{
+			System:  systems[rng.Intn(len(systems))],
+			Threads: []int{2, 4}[rng.Intn(2)],
+			Cache:   caches[rng.Intn(len(caches))],
+			Par:     []int{0, 2}[rng.Intn(2)],
+		}
+		wlA := workloads[rng.Intn(len(workloads))]
+		wlB := workloads[rng.Intn(len(workloads))]
+		seed := uint64(rng.Intn(1000) + 1)
+		t.Run(fmt.Sprintf("%s|%d|%s|par%d|%s->%s", shape.System.Name, shape.Threads,
+			shape.Cache.Name, shape.Par, wlA.Name, wlB.Name), func(t *testing.T) {
+			r := NewRunner(seed)
+			r.Workers = 1
+			r.Reuse = true
+			specA, specB := shape, shape
+			specA.Workload, specB.Workload = wlA, wlB
+			if _, err := r.Get(specA); err != nil {
+				t.Fatal(err)
+			}
+			reused, err := r.Get(specB) // reset-then-run on specA's machine
+			if err != nil {
+				t.Fatal(err)
+			}
+			specB.Seed = seed
+			fresh, err := Execute(specB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Errorf("reset-then-run diverged from fresh-build-then-run for %s:\nfresh : %+v\nreused: %+v",
+					specB.Key(), fresh, reused)
+			}
+		})
+	}
+}
+
+// TestMachinePoolLRU is the white-box pool test: acquire matches by shape
+// and prefers the most recently released machine, and the pool never holds
+// more than poolCap entries (oldest evicted first).
+func TestMachinePoolLRU(t *testing.T) {
+	var p machinePool
+	if p.acquire("a") != nil {
+		t.Fatal("empty pool returned a machine")
+	}
+	mA1 := NewMachineFor(Spec{System: mustSystem("CGL"), Workload: tinyProfile(),
+		Threads: 2, Cache: SmallCache(), Seed: 1}, ExecOptions{})
+	mA2 := NewMachineFor(Spec{System: mustSystem("CGL"), Workload: tinyProfile(),
+		Threads: 2, Cache: SmallCache(), Seed: 1}, ExecOptions{})
+	p.release("a", mA1)
+	p.release("a", mA2)
+	if got := p.acquire("a"); got != mA2 {
+		t.Fatal("acquire did not return the most recently released machine")
+	}
+	if got := p.acquire("a"); got != mA1 {
+		t.Fatal("second acquire did not return the older machine")
+	}
+	if p.acquire("a") != nil {
+		t.Fatal("drained pool returned a machine")
+	}
+
+	// Overfill with distinct keys: the oldest entries must fall out.
+	for i := 0; i < poolCap+2; i++ {
+		p.release(fmt.Sprintf("k%d", i), mA1)
+	}
+	if len(p.free) != poolCap {
+		t.Fatalf("pool holds %d entries, want cap %d", len(p.free), poolCap)
+	}
+	if p.acquire("k0") != nil || p.acquire("k1") != nil {
+		t.Fatal("evicted entries still acquirable")
+	}
+	if p.acquire(fmt.Sprintf("k%d", poolCap+1)) == nil {
+		t.Fatal("newest entry missing after eviction")
+	}
+}

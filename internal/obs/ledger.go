@@ -15,8 +15,9 @@ import (
 )
 
 // LedgerSchemaVersion is stamped into every record; ValidateLedger rejects
-// records from any other version so schema drift fails loudly.
-const LedgerSchemaVersion = 1
+// records from any other version so schema drift fails loudly. Version 2
+// added CacheSrc (which cache satisfied a hit: memo or disk).
+const LedgerSchemaVersion = 2
 
 // Record is one run's ledger entry. Fields are declared in alphabetical
 // json-name order — encoding/json emits struct fields in declaration
@@ -26,9 +27,15 @@ const LedgerSchemaVersion = 1
 // runs); "host" values depend on the machine the run happened on and are
 // zeroed by Redacted.
 type Record struct {
-	// CacheHit reports whether the result came from the runner's memo
-	// (or a loaded results file) instead of a fresh execution.
+	// CacheHit reports whether the result came from a cache (the runner's
+	// memo, a loaded results file, or the on-disk sweep cache) instead of
+	// a fresh execution.
 	CacheHit bool `json:"cache_hit" obs:"det"`
+	// CacheSrc names the cache that satisfied a hit: "memo" for the
+	// runner's in-process memo (and loaded results files), "disk" for the
+	// persistent content-addressed store. Empty — and omitted — for fresh
+	// executions.
+	CacheSrc string `json:"cache_src,omitempty" obs:"det"`
 	// Error is the execution error, if any ("" on success and then
 	// omitted, so success records carry no empty field).
 	Error string `json:"error,omitempty" obs:"det"`

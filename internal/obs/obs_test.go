@@ -35,7 +35,7 @@ func TestRecordSchemaSorted(t *testing.T) {
 
 func fullRecord(key string) Record {
 	return Record{
-		CacheHit: true, Error: "boom", Events: 1, ExecCycles: 2, FusedRuns: 3,
+		CacheHit: true, CacheSrc: "memo", Error: "boom", Events: 1, ExecCycles: 2, FusedRuns: 3,
 		GCCycles: 4, HeapAllocBytes: 5, Key: key, Mallocs: 6, ParWorkers: 7,
 		Schema: LedgerSchemaVersion, Seed: 8, TotalAllocBytes: 9, WallNS: 10,
 	}
@@ -125,10 +125,10 @@ func TestValidateLedgerRejects(t *testing.T) {
 		return string(b)
 	}
 	cases := map[string]string{
-		"unknown field": `{"bogus":1,"key":"k","schema":1}`,
+		"unknown field": `{"bogus":1,"key":"k","schema":2}`,
 		"bad schema":    `{"key":"k","schema":99}`,
-		"empty key":     `{"key":"","schema":1}`,
-		"unsorted keys": `{"schema":1,"key":"k"}`,
+		"empty key":     `{"key":"","schema":2}`,
+		"unsorted keys": `{"schema":2,"key":"k"}`,
 		"unsorted rows": good("b") + "\n" + good("a"),
 		"not an object": `[1,2]`,
 	}

@@ -17,8 +17,10 @@ type ProgressEvent struct {
 	Done, Total int
 	// Key is the completed spec's memo key.
 	Key string
-	// CacheHit reports a memoized result (Wall is then zero).
+	// CacheHit reports a cached result (Wall is then zero); CacheSrc names
+	// the cache that answered ("memo" or "disk").
 	CacheHit bool
+	CacheSrc string
 	// Err is the execution error message, "" on success.
 	Err string
 	// Wall is the host wall time of this spec's execution.
@@ -47,6 +49,8 @@ func (s *TextSink) Event(e ProgressEvent) {
 	switch {
 	case e.Err != "":
 		status = "FAILED"
+	case e.CacheHit && e.CacheSrc != "" && e.CacheSrc != "memo":
+		status = "cached(" + e.CacheSrc + ")"
 	case e.CacheHit:
 		status = "cached"
 	}

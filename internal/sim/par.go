@@ -274,6 +274,31 @@ func (p *parRuntime) mergeOutbox(e *Engine) {
 	p.outboxOk = false
 }
 
+// reset returns the runtime to its just-constructed state in place. Safe
+// only between runs: stop() has already shut the previous run's workers
+// down (started is false outside Run), so no goroutine can observe the
+// mutation. The grant/done channels are recreated by the next run's
+// start(); clearing them here makes a reset runtime structurally identical
+// to a fresh EnablePar one.
+func (p *parRuntime) reset() {
+	for i := range p.groups {
+		p.groups[i].q.reset()
+		p.groups[i].executed = 0
+	}
+	p.strand.reset()
+	p.active = -1
+	p.horizonWhen, p.horizonSeq, p.horizonOk = 0, 0, false
+	for i := range p.outbox {
+		p.outbox[i].ev = event{}
+	}
+	p.outbox = p.outbox[:0]
+	p.outboxWhen, p.outboxSeq, p.outboxOk = 0, 0, false
+	p.grantCh = nil
+	p.doneCh = nil
+	p.strandExecuted = 0
+	p.spans = 0
+}
+
 // qhead identifies a queue head during the coordinator's frontier scan.
 type qhead struct {
 	g    int

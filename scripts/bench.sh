@@ -24,6 +24,11 @@ go test -run '^$' -benchmem \
     -bench '^(BenchmarkEngineEvents|BenchmarkNoCSend|BenchmarkFusedHitChain|BenchmarkSimulatorThroughput|BenchmarkParallelSimulatorThroughput|BenchmarkTelemetryDisabledOverhead|BenchmarkTelemetryEnabledOverhead|BenchmarkObsDisabledOverhead|BenchmarkObsEnabledOverhead)$' \
     . >>"$TMP"
 
+echo "running machine-reuse benchmarks..." >&2
+go test -run '^$' -benchmem \
+    -bench '^(BenchmarkMachineConstruction|BenchmarkMachineReset|BenchmarkSweepThroughput)$' \
+    . >>"$TMP"
+
 echo "running core-count scaling benchmark..." >&2
 go test -run '^$' -benchmem \
     -bench '^BenchmarkScalingCores$' \
